@@ -1,0 +1,58 @@
+"""Ablation: basic critic (Algorithm 1) vs the advanced critic (§VII-B).
+
+Evaluates both critics on the same fitted ACOBE scores, as of a day on
+which the insiders are active (the critic is a daily procedure).  The
+advanced critic adds the paper's proposed spike and waveform factors;
+this bench reports whether they help or hurt on the default benchmark
+and benchmarks the critic passes themselves.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.core.critic import investigation_list
+from repro.core.critic_advanced import AdvancedCritic
+from repro.eval.metrics import average_precision, fps_before_each_tp
+from repro.eval.reporting import format_table
+
+
+def test_basic_vs_advanced_critic(benchmark, runs, cert_bench):
+    run = runs.run("ACOBE")
+    labels = cert_bench.labels
+    users = run.users
+
+    # Truncate at the end of the scenario-1 window (both scenarios active).
+    [inj1] = [i for i in cert_bench.dataset.injections if i.scenario == 1][:1]
+    as_of = max(j for j, d in enumerate(run.test_days) if d <= inj1.end) + 1
+    scores_today = {aspect: arr[:, :as_of] for aspect, arr in run.scores.items()}
+
+    # Basic critic on max-pooled scores up to the same day.
+    basic_scores = {
+        aspect: {u: float(arr[i].max()) for i, u in enumerate(users)}
+        for aspect, arr in scores_today.items()
+    }
+    basic = investigation_list(basic_scores, n_votes=3)
+    basic_priorities = {e.user: e.priority for e in basic.entries}
+
+    advanced_critic = AdvancedCritic(n_votes=3)
+    advanced = advanced_critic.as_investigation_list(scores_today, users)
+    advanced_priorities = {e.user: e.priority for e in advanced.entries}
+
+    rows = []
+    results = {}
+    for name, priorities in (("basic (Algorithm 1)", basic_priorities),
+                             ("advanced (spike+waveform)", advanced_priorities)):
+        ap = average_precision(priorities, labels)
+        fps = fps_before_each_tp(priorities, labels)
+        results[name] = ap
+        rows.append((name, f"{ap:.4f}", str(fps)))
+    save_result(
+        "ablation_critic",
+        format_table(["critic", "average precision", "FPs before k-th TP"], rows),
+    )
+
+    # The advanced critic must not destroy detection (the paper positions
+    # it as a refinement, not a replacement).
+    assert results["advanced (spike+waveform)"] >= 0.25 * results["basic (Algorithm 1)"]
+
+    benchmark(advanced_critic.investigate, scores_today, users)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Zeus-botnet case study (paper Section VI, Figure 7b).
+
+Simulates an enterprise (Windows-Event / Sysmon / PowerShell / proxy /
+DNS logs), infects one employee with a Zeus-style bot -- registry
+persistence on day 0, then C&C beacons and newGOZ DGA NXDOMAIN floods a
+couple of days later -- and shows how the victim climbs to the top of
+ACOBE's daily investigation list only after the bot goes active.
+
+Usage::
+
+    python examples/botnet_case_study.py [--attack wannacry]
+"""
+
+import argparse
+
+from repro.eval.experiments import build_case_study, case_study_config, run_case_study
+from repro.eval.reporting import sparkline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--attack",
+        choices=("zeus", "wannacry"),
+        default="zeus",
+        help="which attack to inject (default: zeus)",
+    )
+    args = parser.parse_args()
+
+    config = case_study_config(args.attack, scale="small")
+    print(f"Simulating enterprise: {config.n_employees} employees, {config.n_days} days")
+    benchmark = build_case_study(config)
+    print(f"Victim: {benchmark.victim}, attack day: {config.attack_day}")
+    print(f"Log events: {benchmark.dataset.store.count():,}")
+
+    print("\nTraining ACOBE on the six enterprise aspects...")
+    result = run_case_study(benchmark)
+    run = result.run
+
+    print("\nPer-aspect anomaly-score trends for the victim (test period):")
+    for aspect in run.scores:
+        trend = run.score_trend(aspect, benchmark.victim)
+        print(f"  {aspect:10s} {sparkline(trend)}")
+    labels = " ".join(
+        "A" if d == config.attack_day else "." for d in run.test_days
+    )
+    print(f"  {'':10s} {labels}   (A = attack day)")
+
+    print("\nVictim's daily investigation rank (1 = investigate first):")
+    for day, rank in sorted(result.daily_rank.items()):
+        marker = ""
+        if day == config.attack_day:
+            marker = "  <-- attack day"
+        elif rank == 1:
+            marker = "  <-- top of the list"
+        print(f"  {day}  rank {rank:3d}{marker}")
+
+    rank_one = result.days_at_rank_one()
+    if rank_one:
+        print(
+            f"\nThe victim tops the investigation list on {len(rank_one)} day(s), "
+            f"first on {rank_one[0]} "
+            f"({(rank_one[0] - config.attack_day).days} day(s) after infection)."
+        )
+    else:
+        print("\nThe victim never reached rank 1 at this tiny scale.")
+
+
+if __name__ == "__main__":
+    main()

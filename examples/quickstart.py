@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: detect injected insiders with ACOBE on a small simulated org.
+
+Runs the full ACOBE pipeline of the paper end-to-end in about half a
+minute on one core:
+
+1. simulate a CERT-style organization (two departments, ~4 months of
+   device/file/HTTP/email/logon logs);
+2. inject the paper's two insider-threat scenarios;
+3. extract the 16 behavioural features, build compound behavioral
+   deviation matrices, train one autoencoder per behavioural aspect;
+4. print the ordered investigation list and the headline metrics.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import make_acobe
+from repro.eval.experiments import build_cert_benchmark, evaluate_run, run_model
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    print("Simulating organization and extracting features (small scale)...")
+    benchmark = build_cert_benchmark(scale="small")
+    print(
+        f"  {len(benchmark.cube.users)} users, "
+        f"{benchmark.dataset.store.count():,} log events, "
+        f"{benchmark.config.n_days} days"
+    )
+    print(f"  injected insiders: {', '.join(benchmark.abnormal_users)}")
+
+    print("\nTraining ACOBE (one autoencoder per behavioural aspect)...")
+    model = make_acobe(
+        ae_config=benchmark.config.autoencoder,
+        window=benchmark.config.window,
+        matrix_days=benchmark.config.matrix_days,
+        train_stride=benchmark.config.train_stride,
+    )
+    run = run_model(model, benchmark)
+
+    print("\nInvestigation list (top 8):")
+    rows = []
+    for entry in run.investigation.entries[:8]:
+        is_insider = entry.user in benchmark.abnormal_users
+        rows.append(
+            (
+                entry.user,
+                entry.priority,
+                " ".join(str(r) for r in entry.ranks),
+                "<-- injected insider" if is_insider else "",
+            )
+        )
+    print(format_table(["user", "priority", "per-aspect ranks", ""], rows))
+
+    metrics = evaluate_run(run, benchmark.labels)
+    print(f"\nROC AUC:            {metrics.auc:.4f}")
+    print(f"Average precision:  {metrics.average_precision:.4f}")
+    print(f"FPs before each TP: {metrics.fps_before_tps}")
+
+
+if __name__ == "__main__":
+    main()

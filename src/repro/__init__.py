@@ -1,0 +1,30 @@
+"""ACOBE reproduction: anomaly detection of anomalous users.
+
+Reproduces "Time-Window Based Group-Behavior Supported Method for
+Accurate Detection of Anomalous Users" (Yuan et al., DSN 2021).
+
+Quickstart::
+
+    from repro.eval.experiments import build_cert_benchmark, run_model, evaluate_run
+    from repro.core import make_acobe
+
+    benchmark = build_cert_benchmark(scale="small")
+    model = make_acobe(
+        ae_config=benchmark.config.autoencoder,
+        window=benchmark.config.window,
+        train_stride=benchmark.config.train_stride,
+    )
+    run = run_model(model, benchmark)
+    metrics = evaluate_run(run, benchmark.labels)
+    print(metrics.auc, run.investigation.users()[:5])
+
+Packages: :mod:`repro.nn` (from-scratch autoencoders),
+:mod:`repro.logs` (event schemas/storage), :mod:`repro.datagen`
+(CERT-style and enterprise simulators), :mod:`repro.features`
+(behavioural feature extraction), :mod:`repro.core` (ACOBE itself) and
+:mod:`repro.eval` (metrics + experiment harnesses).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

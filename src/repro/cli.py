@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` -- simulate a CERT-style organization (optionally with the
+  two insider scenarios injected) and write the logs as CERT-style CSVs.
+* ``detect`` -- run an ACOBE-family model over a log directory produced
+  by ``simulate`` and print the ordered investigation list.
+* ``case-study`` -- run the Zeus or WannaCry enterprise case study and
+  print the victim's daily investigation rank.
+* ``presets`` -- show the benchmark scale presets.
+
+The CLI is a thin shell over the public API; every command maps onto
+calls documented in README.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import date, timedelta
+from typing import List, Optional
+
+from repro.core import (
+    make_acobe,
+    make_all_in_one,
+    make_base_ff,
+    make_baseline,
+    make_no_group,
+    make_one_day,
+)
+from repro.eval.experiments import (
+    CERT_START,
+    build_case_study,
+    build_cert_benchmark,
+    case_study_config,
+    cert_config,
+    evaluate_run,
+    run_model,
+)
+from repro.eval.reporting import format_table, sparkline
+from repro.logs.csvio import read_store, write_store
+
+_MODEL_FACTORIES = {
+    "acobe": make_acobe,
+    "no-group": make_no_group,
+    "one-day": make_one_day,
+    "all-in-one": make_all_in_one,
+    "baseline": make_baseline,
+    "base-ff": make_base_ff,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACOBE reproduction: anomaly detection of anomalous users.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate CERT-style logs and write CSVs")
+    p_sim.add_argument("output", help="directory to write <type>.csv files into")
+    p_sim.add_argument("--scale", default="small", choices=("small", "default", "paper"))
+    p_sim.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    p_sim.add_argument(
+        "--no-injection", action="store_true", help="skip the insider-scenario injection"
+    )
+
+    p_det = sub.add_parser("detect", help="run a model over simulated logs")
+    p_det.add_argument(
+        "--scale", default="small", choices=("small", "default", "paper"),
+        help="benchmark preset to simulate and score",
+    )
+    p_det.add_argument("--model", default="acobe", choices=sorted(_MODEL_FACTORIES))
+    p_det.add_argument("--top", type=int, default=10, help="list length to print")
+    p_det.add_argument("--seed", type=int, default=None)
+
+    p_case = sub.add_parser("case-study", help="run an enterprise attack case study")
+    p_case.add_argument("attack", choices=("zeus", "wannacry"))
+    p_case.add_argument("--scale", default="small", choices=("small", "default", "paper"))
+
+    sub.add_parser("presets", help="show the benchmark scale presets")
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    config = cert_config(args.scale)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    if args.no_injection:
+        from repro.datagen.calendar import SimulationCalendar
+        from repro.datagen.org import build_organization
+        from repro.datagen.simulator import simulate_cert_dataset
+
+        organization = build_organization(list(config.department_sizes), seed=config.seed)
+        calendar = SimulationCalendar.with_default_holidays(config.start, config.end)
+        dataset = simulate_cert_dataset(organization, calendar, seed=config.seed)
+        store = dataset.store
+        abnormal: List[str] = []
+    else:
+        benchmark = build_cert_benchmark(config)
+        store = benchmark.dataset.store
+        abnormal = benchmark.abnormal_users
+    paths = write_store(store, args.output)
+    print(f"wrote {store.count():,} events across {len(paths)} files to {args.output}")
+    if abnormal:
+        print(f"injected insiders: {', '.join(abnormal)}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    config = cert_config(args.scale)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    benchmark = build_cert_benchmark(config)
+    factory = _MODEL_FACTORIES[args.model]
+    kwargs = dict(ae_config=config.autoencoder, train_stride=config.train_stride)
+    if args.model in ("acobe", "no-group", "all-in-one"):
+        kwargs.update(window=config.window, matrix_days=config.matrix_days)
+    model = factory(**kwargs)
+    cube = benchmark.coarse_cube() if args.model == "baseline" else benchmark.cube
+    print(f"fitting {model.config.name} on {len(benchmark.cube.users)} users ...")
+    run = run_model(model, benchmark, cube=cube)
+
+    rows = []
+    for position, entry in enumerate(run.investigation.entries[: args.top], start=1):
+        marker = "insider" if entry.user in benchmark.abnormal_users else ""
+        rows.append((position, entry.user, entry.priority, marker))
+    print(format_table(["#", "user", "priority", ""], rows))
+    metrics = evaluate_run(run, benchmark.labels)
+    print(f"AUC={metrics.auc:.4f}  AP={metrics.average_precision:.4f}  "
+          f"FPs-before-TPs={metrics.fps_before_tps}")
+    return 0
+
+
+def cmd_case_study(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import run_case_study
+
+    config = case_study_config(args.attack, args.scale)
+    print(f"simulating {config.n_employees} employees, attack on {config.attack_day} ...")
+    benchmark = build_case_study(config)
+    result = run_case_study(benchmark)
+    for aspect in result.run.scores:
+        trend = result.run.score_trend(aspect, benchmark.victim)
+        print(f"  {aspect:10s} {sparkline(trend)}")
+    rows = [(str(d), r) for d, r in sorted(result.daily_rank.items())]
+    print(format_table(["day", "victim rank"], rows))
+    rank_one = result.days_at_rank_one()
+    if rank_one:
+        print(f"victim tops the list first on {rank_one[0]}")
+    return 0
+
+
+def cmd_presets(_args: argparse.Namespace) -> int:
+    rows = []
+    for scale in ("small", "default", "paper"):
+        cfg = cert_config(scale)
+        rows.append(
+            (
+                scale,
+                sum(cfg.department_sizes),
+                cfg.n_days,
+                cfg.window,
+                "x".join(str(u) for u in cfg.autoencoder.encoder_units),
+                cfg.autoencoder.epochs,
+            )
+        )
+    print(format_table(["scale", "users", "days", "window", "encoder", "epochs"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "detect": cmd_detect,
+    "case-study": cmd_case_study,
+    "presets": cmd_presets,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""ACOBE: Anomaly detection based on COmpound BEhavior (the paper's core).
+
+* :mod:`repro.core.deviation` -- behavioural deviation math of
+  Section IV-A: sliding-history z-scores clamped to +/-Delta, and the
+  TF-IDF-inspired feature weights of Eq. (1).
+* :mod:`repro.core.matrix` -- compound behavioral deviation matrices:
+  individual + group blocks across time-frames and a multi-day window,
+  flattened and mapped to [0, 1].
+* :mod:`repro.core.critic` -- the anomaly detection critic
+  (Algorithm 1): N-th-best-rank voting and the ordered investigation
+  list.
+* :mod:`repro.core.detector` -- the configurable compound-behaviour
+  model and the named model zoo (ACOBE, No-Group, 1-Day, All-in-1,
+  Baseline, Base-FF).
+"""
+
+from repro.core.critic import InvestigationList, investigation_list, rank_users
+from repro.core.critic_advanced import AdvancedCritic, classify_waveform, spike_score
+from repro.core.persistence import attach_representation, load_model, save_model
+from repro.core.streaming import DailyResult, StreamingDetector
+from repro.core.detector import (
+    CompoundBehaviorModel,
+    ModelConfig,
+    make_acobe,
+    make_all_in_one,
+    make_base_ff,
+    make_baseline,
+    make_no_group,
+    make_one_day,
+)
+from repro.core.deviation import DeviationConfig, DeviationCube, compute_deviations, feature_weights
+from repro.core.matrix import CompoundMatrices, build_compound_matrices
+
+__all__ = [
+    "AdvancedCritic",
+    "CompoundBehaviorModel",
+    "DailyResult",
+    "StreamingDetector",
+    "attach_representation",
+    "classify_waveform",
+    "load_model",
+    "save_model",
+    "spike_score",
+    "CompoundMatrices",
+    "DeviationConfig",
+    "DeviationCube",
+    "InvestigationList",
+    "ModelConfig",
+    "build_compound_matrices",
+    "compute_deviations",
+    "feature_weights",
+    "investigation_list",
+    "make_acobe",
+    "make_all_in_one",
+    "make_base_ff",
+    "make_baseline",
+    "make_no_group",
+    "make_one_day",
+    "rank_users",
+]

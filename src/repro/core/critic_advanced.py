@@ -1,0 +1,235 @@
+"""The advanced detection critic sketched in the paper's future work.
+
+Section VII-B proposes a critic that goes beyond N-th-best-rank voting
+by inspecting the anomaly-score *waveform*:
+
+1. "whether the anomaly score has a recent spike" -- scores rise
+   significantly once abnormal activity has happened, so a user whose
+   score recently jumped above its own history deserves priority;
+2. "whether the abnormal raise demonstrates a particular waveform" --
+   a developer starting a new project produces a *burst with a
+   long-lasting smooth decrease*, whereas a cyberattack shows *no decay
+   and chaotic signals*; benign bursts can therefore be de-prioritized.
+
+This module implements both factors on top of the per-day score arrays
+produced by :meth:`repro.core.detector.CompoundBehaviorModel.score`:
+
+* :func:`spike_score` -- magnitude of the recent rise, in robust
+  (median/MAD) units of the user's own waveform history;
+* :func:`classify_waveform` -- 'flat', 'benign-burst' (sharp rise then
+  smooth decay) or 'suspicious' (sustained or chaotic elevation);
+* :class:`AdvancedCritic` -- combines Algorithm 1's rank voting with the
+  two factors: users whose waveforms are flat are demoted, suspicious
+  spikes are promoted, and benign bursts sit in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.critic import InvestigationEntry, InvestigationList, nth_best_rank, rank_users
+
+#: Waveform classes produced by :func:`classify_waveform`.
+WAVEFORM_FLAT = "flat"
+WAVEFORM_BENIGN_BURST = "benign-burst"
+WAVEFORM_SUSPICIOUS = "suspicious"
+
+
+def _robust_center_scale(history: np.ndarray) -> Tuple[float, float]:
+    """Median and MAD-derived scale of a score history (scale floored)."""
+    center = float(np.median(history))
+    mad = float(np.median(np.abs(history - center)))
+    # 1.4826 * MAD estimates the std of a Gaussian; floor the scale so
+    # perfectly flat histories don't explode the spike score.
+    scale = max(1.4826 * mad, 0.05 * max(abs(center), 1e-12), 1e-12)
+    return center, scale
+
+
+def spike_score(waveform: Sequence[float], recent_days: int = 7) -> float:
+    """How far the recent waveform rises above its own history.
+
+    Args:
+        waveform: daily anomaly scores, oldest first.
+        recent_days: length of the "recent" tail examined for a spike.
+
+    Returns:
+        max(recent - median(history)) / robust_scale(history); 0.0 when
+        there is no history to compare against (all days recent).
+    """
+    scores = np.asarray(list(waveform), dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError("waveform must be a non-empty 1-D series")
+    if recent_days <= 0:
+        raise ValueError(f"recent_days must be positive, got {recent_days}")
+    if scores.size <= recent_days:
+        return 0.0
+    history, recent = scores[:-recent_days], scores[-recent_days:]
+    center, scale = _robust_center_scale(history)
+    return float((recent.max() - center) / scale)
+
+
+def classify_waveform(
+    waveform: Sequence[float],
+    spike_threshold: float = 4.0,
+    recent_days: int = 7,
+    decay_fraction: float = 0.5,
+) -> str:
+    """Classify a user's anomaly-score waveform per Section VII-B.
+
+    * ``flat`` -- no recent spike above ``spike_threshold`` robust units;
+    * ``benign-burst`` -- a spike followed by a smooth decrease: the last
+      recent value has decayed below ``decay_fraction`` of the spike's
+      elevation and the post-peak slope is predominantly negative;
+    * ``suspicious`` -- a spike that does not decay (sustained elevation
+      or chaotic post-peak behaviour), which is how cyberattacks look.
+    """
+    scores = np.asarray(list(waveform), dtype=np.float64)
+    magnitude = spike_score(scores, recent_days=recent_days)
+    if magnitude < spike_threshold:
+        return WAVEFORM_FLAT
+
+    history, recent = scores[:-recent_days], scores[-recent_days:]
+    center, _ = _robust_center_scale(history)
+    peak_index = int(recent.argmax())
+    peak_elevation = recent[peak_index] - center
+    after_peak = recent[peak_index:]
+    if after_peak.size < 3:
+        # The spike is right at the edge: nothing has decayed yet.
+        return WAVEFORM_SUSPICIOUS
+    final_elevation = after_peak[-1] - center
+    decayed = final_elevation <= decay_fraction * peak_elevation
+    slopes = np.diff(after_peak)
+    smooth_decay = decayed and (slopes <= 1e-12).mean() >= 0.7
+    return WAVEFORM_BENIGN_BURST if smooth_decay else WAVEFORM_SUSPICIOUS
+
+
+@dataclass(frozen=True)
+class AdvancedEntry:
+    """One row of the advanced investigation list."""
+
+    user: str
+    priority: int
+    base_priority: int
+    spike: float
+    waveform: str
+
+
+@dataclass
+class AdvancedCritic:
+    """Rank voting augmented with spike and waveform factors.
+
+    The base priority is Algorithm 1's N-th-best rank.  It is then
+    adjusted per Section VII-B:
+
+    * users with a *flat* waveform in every aspect are demoted by
+      ``flat_demotion`` ranks (there is nothing recent to investigate);
+    * users with a *suspicious* waveform in any aspect keep their base
+      priority (and win ties against non-suspicious users);
+    * users whose only elevated waveforms are *benign bursts* are demoted
+      by ``benign_demotion`` ranks.
+
+    Demotions are additive rank penalties: they reshuffle borderline
+    users without ever hiding a strong anomaly (a priority-1 suspicious
+    user cannot be overtaken by demotion alone).
+    """
+
+    n_votes: int = 3
+    spike_threshold: float = 4.0
+    recent_days: int = 7
+    flat_demotion: int = 10
+    benign_demotion: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_votes < 1:
+            raise ValueError(f"n_votes must be >= 1, got {self.n_votes}")
+        if self.flat_demotion < 0 or self.benign_demotion < 0:
+            raise ValueError("demotions must be non-negative")
+
+    def investigate(
+        self,
+        daily_scores: Mapping[str, np.ndarray],
+        users: Sequence[str],
+    ) -> List[AdvancedEntry]:
+        """Produce the adjusted investigation list.
+
+        Args:
+            daily_scores: aspect name -> array (n_users, n_days) of daily
+                anomaly scores (oldest day first).
+            users: row labels of the arrays.
+
+        Returns:
+            Entries sorted by adjusted priority (ties: suspicious first,
+            then user id).
+        """
+        if not daily_scores:
+            raise ValueError("need at least one aspect")
+        users = list(users)
+        n_aspects = len(daily_scores)
+        if self.n_votes > n_aspects:
+            raise ValueError(f"n_votes {self.n_votes} exceeds aspect count {n_aspects}")
+
+        # Base rank voting on max daily scores (Algorithm 1).
+        ranks_per_aspect = {}
+        for aspect, array in daily_scores.items():
+            if array.shape[0] != len(users):
+                raise ValueError(f"aspect {aspect!r} rows != len(users)")
+            scores = {u: float(array[i].max()) for i, u in enumerate(users)}
+            ranks_per_aspect[aspect] = rank_users(scores)
+
+        entries = []
+        for i, user in enumerate(users):
+            ranks = [ranks_per_aspect[a][user] for a in daily_scores]
+            base = nth_best_rank(ranks, self.n_votes)
+
+            spikes = []
+            waveforms = []
+            for array in daily_scores.values():
+                waveform = array[i]
+                spikes.append(spike_score(waveform, self.recent_days))
+                waveforms.append(
+                    classify_waveform(
+                        waveform,
+                        spike_threshold=self.spike_threshold,
+                        recent_days=self.recent_days,
+                    )
+                )
+            best_spike = max(spikes)
+            if WAVEFORM_SUSPICIOUS in waveforms:
+                waveform_class = WAVEFORM_SUSPICIOUS
+                priority = base
+            elif WAVEFORM_BENIGN_BURST in waveforms:
+                waveform_class = WAVEFORM_BENIGN_BURST
+                priority = base + self.benign_demotion
+            else:
+                waveform_class = WAVEFORM_FLAT
+                priority = base + self.flat_demotion
+            entries.append(
+                AdvancedEntry(
+                    user=user,
+                    priority=priority,
+                    base_priority=base,
+                    spike=best_spike,
+                    waveform=waveform_class,
+                )
+            )
+        suspicion_order = {WAVEFORM_SUSPICIOUS: 0, WAVEFORM_BENIGN_BURST: 1, WAVEFORM_FLAT: 2}
+        entries.sort(key=lambda e: (e.priority, suspicion_order[e.waveform], e.user))
+        return entries
+
+    def as_investigation_list(
+        self,
+        daily_scores: Mapping[str, np.ndarray],
+        users: Sequence[str],
+    ) -> InvestigationList:
+        """The adjusted list in the standard InvestigationList shape."""
+        entries = self.investigate(daily_scores, users)
+        converted = [
+            InvestigationEntry(user=e.user, priority=e.priority, ranks=(e.base_priority,))
+            for e in entries
+        ]
+        return InvestigationList(
+            entries=converted, n_votes=self.n_votes, aspect_names=tuple(daily_scores)
+        )

@@ -1,0 +1,435 @@
+"""The compound-behaviour detector and the paper's model zoo.
+
+:class:`CompoundBehaviorModel` is a single configurable pipeline that
+covers every model evaluated in the paper:
+
+=========  ==============  ======  =====  =======  ========
+model      representation  window  days   group    aspects
+=========  ==============  ======  =====  =======  ========
+ACOBE      deviation       30      30     yes      split
+No-Group   deviation       30      30     no       split
+1-Day      normalized      --      1      yes      split
+All-in-1   deviation       30      30     yes      merged
+Base-FF    normalized      --      1      no       split
+Baseline   normalized      --      1      no       split (coarse
+                                                   features, 24 frames)
+=========  ==============  ======  =====  =======  ========
+
+The Baseline/Base-FF rows differ from ACOBE exactly as Section V-C
+describes; Baseline additionally consumes the coarse-grained feature
+cube from :func:`repro.features.cert.extract_baseline_measurements`.
+
+Workflow: ``fit(cube, group_map, train_days)`` then
+``score(days)`` / ``investigate(days)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import date
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.critic import InvestigationList, investigation_list
+from repro.core.deviation import DeviationConfig, DeviationCube, compute_deviations
+from repro.core.matrix import CompoundMatrices, build_compound_matrices
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Configuration of a compound-behaviour model."""
+
+    name: str = "ACOBE"
+    representation: str = "deviation"  # "deviation" | "normalized"
+    window: int = 30
+    matrix_days: int = 30
+    delta: float = 3.0
+    epsilon: float = 1e-6
+    apply_weights: bool = True
+    include_group: bool = True
+    all_in_one: bool = False
+    critic_n: int = 3
+    train_stride: int = 1
+    autoencoder: AutoencoderConfig = field(default_factory=AutoencoderConfig)
+
+    def __post_init__(self) -> None:
+        if self.representation not in ("deviation", "normalized"):
+            raise ValueError(f"unknown representation {self.representation!r}")
+        if self.matrix_days < 1:
+            raise ValueError(f"matrix_days must be >= 1, got {self.matrix_days}")
+        if self.train_stride < 1:
+            raise ValueError(f"train_stride must be >= 1, got {self.train_stride}")
+        if self.critic_n < 1:
+            raise ValueError(f"critic_n must be >= 1, got {self.critic_n}")
+
+
+class CompoundBehaviorModel:
+    """An ensemble of per-aspect autoencoders over compound matrices."""
+
+    def __init__(self, config: ModelConfig):
+        self.config = config
+        self._deviations: Optional[DeviationCube] = None
+        self._aspects: List[AspectSpec] = []
+        self._autoencoders: Dict[str, Autoencoder] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def aspect_names(self) -> List[str]:
+        return [a.name for a in self._aspects]
+
+    def autoencoder(self, aspect: str) -> Autoencoder:
+        """The trained autoencoder of one aspect."""
+        try:
+            return self._autoencoders[aspect]
+        except KeyError:
+            raise KeyError(f"no autoencoder for aspect {aspect!r} (model not fitted?)") from None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        cube: MeasurementCube,
+        group_map: Optional[Mapping[str, str]],
+        train_days: Sequence[date],
+        verbose: bool = False,
+    ) -> "CompoundBehaviorModel":
+        """Build the behavioural representation and train the ensemble.
+
+        Args:
+            cube: raw measurements covering training *and* scoring days
+                (the representation is causal, so this leaks nothing).
+            group_map: user -> group; may be None for a single group.
+            train_days: days whose matrices form the (assumed normal)
+                training set; only days with enough history are used.
+        """
+        cfg = self.config
+        self._deviations = self._build_representation(cube, dict(group_map or {}), train_days)
+        self._aspects = self._resolve_aspects(cube.feature_set)
+
+        anchors = self.valid_anchor_days(train_days)
+        if not anchors:
+            raise ValueError(
+                "no training day has enough history "
+                f"(window={cfg.window}, matrix_days={cfg.matrix_days})"
+            )
+        anchors = anchors[:: cfg.train_stride]
+
+        self._autoencoders = {}
+        for aspect in self._aspects:
+            matrices = self._matrices_for(aspect, anchors)
+            train = matrices.training_set()
+            ae = Autoencoder(input_dim=matrices.dim, config=cfg.autoencoder)
+            ae.fit(train, verbose=verbose)
+            self._autoencoders[aspect.name] = ae
+        self._fitted = True
+        return self
+
+    def score(self, days: Sequence[date]) -> Dict[str, np.ndarray]:
+        """Per-aspect anomaly scores.
+
+        Returns:
+            aspect name -> array ``(n_users, len(days))`` of
+            reconstruction errors (higher = more anomalous).
+        """
+        self._require_fitted()
+        days = list(days)
+        scores: Dict[str, np.ndarray] = {}
+        for aspect in self._aspects:
+            matrices = self._matrices_for(aspect, days)
+            ae = self._autoencoders[aspect.name]
+            n_users, n_days, dim = matrices.vectors.shape
+            flat = matrices.vectors.reshape(-1, dim)
+            errors = ae.reconstruction_error(flat)
+            scores[aspect.name] = errors.reshape(n_users, n_days)
+        return scores
+
+    def investigate(
+        self,
+        days: Sequence[date],
+        n_votes: Optional[int] = None,
+        reduce: str = "max",
+    ) -> InvestigationList:
+        """The ordered investigation list over a scoring period.
+
+        Each aspect scores a user by the ``reduce`` ("max" or "mean") of
+        its daily reconstruction errors over ``days``; the critic then
+        combines per-aspect ranks into priorities.
+        """
+        if reduce not in ("max", "mean"):
+            raise ValueError(f"reduce must be 'max' or 'mean', got {reduce!r}")
+        scores = self.score(days)
+        users = self._deviations.users
+        aspect_scores = {}
+        for name, array in scores.items():
+            reduced = array.max(axis=1) if reduce == "max" else array.mean(axis=1)
+            aspect_scores[name] = {user: float(reduced[i]) for i, user in enumerate(users)}
+        return investigation_list(aspect_scores, n_votes or self.config.critic_n)
+
+    def valid_anchor_days(self, days: Sequence[date]) -> List[date]:
+        """The subset of ``days`` with enough history for a matrix."""
+        self._require_representation()
+        available = set(self._deviations.days[self.config.matrix_days - 1 :])
+        return sorted(d for d in days if d in available)
+
+    @property
+    def users(self) -> List[str]:
+        self._require_representation()
+        return list(self._deviations.users)
+
+    @property
+    def deviations(self) -> DeviationCube:
+        """The underlying behavioural representation (for inspection)."""
+        self._require_representation()
+        return self._deviations
+
+    # ------------------------------------------------------------------
+    def _build_representation(
+        self,
+        cube: MeasurementCube,
+        group_map: Dict[str, str],
+        train_days: Sequence[date],
+    ) -> DeviationCube:
+        cfg = self.config
+        if not group_map:
+            group_map = {u: "all" for u in cube.users}
+        if cfg.representation == "deviation":
+            dev_config = DeviationConfig(window=cfg.window, delta=cfg.delta, epsilon=cfg.epsilon)
+            return compute_deviations(cube, group_map, dev_config)
+        return _normalized_representation(cube, group_map, train_days, cfg.delta)
+
+    def _resolve_aspects(self, feature_set: FeatureSet) -> List[AspectSpec]:
+        if not self.config.all_in_one:
+            return list(feature_set.aspects)
+        merged = AspectSpec(
+            "all",
+            tuple(
+                FeatureSpec(f.name, "all", f.description) for f in feature_set.features
+            ),
+        )
+        return [merged]
+
+    def _matrices_for(self, aspect: AspectSpec, anchors: Sequence[date]) -> CompoundMatrices:
+        feature_set = self._deviations.feature_set
+        if self.config.all_in_one:
+            indices = list(range(len(feature_set)))
+        else:
+            indices = feature_set.aspect_indices(aspect.name)
+        return build_compound_matrices(
+            self._deviations,
+            anchor_days=anchors,
+            matrix_days=self.config.matrix_days,
+            include_group=self.config.include_group,
+            apply_weights=self.config.apply_weights,
+            feature_indices=indices,
+        )
+
+    def _require_representation(self) -> None:
+        if self._deviations is None:
+            raise RuntimeError("model has no representation yet; call fit() first")
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+
+def _normalized_representation(
+    cube: MeasurementCube,
+    group_map: Dict[str, str],
+    train_days: Sequence[date],
+    delta: float,
+) -> DeviationCube:
+    """Min-max normalized occurrences packed into a DeviationCube.
+
+    Used by the 1-Day / Baseline / Base-FF models: each (user, feature,
+    time-frame) series is divided by its maximum over the *training*
+    days (floor 1 to keep zeros meaningful) and clipped to [0, 1].  The
+    normalized values are re-centred to [-delta, +delta] so the matrix
+    builder's final [0, 1] mapping restores them exactly; weights are 1.
+    """
+    train_set = set(train_days)
+    train_idx = [i for i, d in enumerate(cube.days) if d in train_set]
+    if not train_idx:
+        raise ValueError("train_days do not overlap the measurement cube")
+
+    def normalize(values: np.ndarray) -> np.ndarray:
+        maxima = values[..., train_idx].max(axis=-1, keepdims=True)
+        maxima = np.maximum(maxima, 1.0)
+        normalized = np.clip(values / maxima, 0.0, 1.0)
+        return (normalized * 2.0 - 1.0) * delta
+
+    sigma = normalize(cube.values)
+    groups = sorted({group_map[u] for u in cube.users})
+    group_index = {g: i for i, g in enumerate(groups)}
+    group_of_user = [group_index[group_map[u]] for u in cube.users]
+    group_values = np.zeros((len(groups),) + cube.values.shape[1:])
+    for gi, group in enumerate(groups):
+        members = [i for i, u in enumerate(cube.users) if group_map[u] == group]
+        group_values[gi] = cube.values[members].mean(axis=0)
+    group_sigma = normalize(group_values)
+
+    # window=2 is a placeholder: no history is consumed in this
+    # representation, so every cube day stays addressable.
+    config = DeviationConfig(window=2, delta=delta)
+    return DeviationCube(
+        sigma=sigma,
+        weights=np.ones_like(sigma),
+        users=list(cube.users),
+        feature_set=cube.feature_set,
+        timeframes=cube.timeframes,
+        days=list(cube.days),
+        config=config,
+        groups=groups,
+        group_of_user=group_of_user,
+        group_sigma=group_sigma,
+        group_weights=np.ones_like(group_sigma),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Model zoo
+# ---------------------------------------------------------------------------
+
+
+def _zoo_model(config: ModelConfig, ae_config: Optional[AutoencoderConfig]) -> CompoundBehaviorModel:
+    if ae_config is not None:
+        config = replace(config, autoencoder=ae_config)
+    return CompoundBehaviorModel(config)
+
+
+def make_acobe(
+    ae_config: Optional[AutoencoderConfig] = None,
+    window: int = 30,
+    matrix_days: Optional[int] = None,
+    critic_n: int = 3,
+    train_stride: int = 1,
+) -> CompoundBehaviorModel:
+    """ACOBE as evaluated in Section V (N=3, omega=30)."""
+    return _zoo_model(
+        ModelConfig(
+            name="ACOBE",
+            window=window,
+            matrix_days=matrix_days or window,
+            critic_n=critic_n,
+            train_stride=train_stride,
+        ),
+        ae_config,
+    )
+
+
+def make_no_group(
+    ae_config: Optional[AutoencoderConfig] = None,
+    window: int = 30,
+    matrix_days: Optional[int] = None,
+    critic_n: int = 3,
+    train_stride: int = 1,
+) -> CompoundBehaviorModel:
+    """The No-Group ablation: ACOBE without the group-behaviour block."""
+    return _zoo_model(
+        ModelConfig(
+            name="No-Group",
+            include_group=False,
+            window=window,
+            matrix_days=matrix_days or window,
+            critic_n=critic_n,
+            train_stride=train_stride,
+        ),
+        ae_config,
+    )
+
+
+def make_one_day(
+    ae_config: Optional[AutoencoderConfig] = None,
+    critic_n: int = 3,
+    train_stride: int = 1,
+) -> CompoundBehaviorModel:
+    """The 1-Day ablation: normalized single-day occurrences."""
+    return _zoo_model(
+        ModelConfig(
+            name="1-Day",
+            representation="normalized",
+            matrix_days=1,
+            apply_weights=False,
+            critic_n=critic_n,
+            train_stride=train_stride,
+        ),
+        ae_config,
+    )
+
+
+def make_all_in_one(
+    ae_config: Optional[AutoencoderConfig] = None,
+    window: int = 30,
+    matrix_days: Optional[int] = None,
+    critic_n: int = 1,
+    train_stride: int = 1,
+) -> CompoundBehaviorModel:
+    """The All-in-1 ablation: one autoencoder over every feature."""
+    return _zoo_model(
+        ModelConfig(
+            name="All-in-1",
+            all_in_one=True,
+            window=window,
+            matrix_days=matrix_days or window,
+            critic_n=critic_n,
+            train_stride=train_stride,
+        ),
+        ae_config,
+    )
+
+
+def make_baseline(
+    ae_config: Optional[AutoencoderConfig] = None,
+    critic_n: int = 3,
+    train_stride: int = 1,
+) -> CompoundBehaviorModel:
+    """Liu et al.'s Baseline (fit it with the coarse-grained cube).
+
+    Single-day normalized activity counts, no group behaviour, no
+    weights; pair with
+    :func:`repro.features.cert.extract_baseline_measurements` (24
+    one-hour time-frames, four aspects).
+    """
+    return _zoo_model(
+        ModelConfig(
+            name="Baseline",
+            representation="normalized",
+            matrix_days=1,
+            apply_weights=False,
+            include_group=False,
+            critic_n=critic_n,
+            train_stride=train_stride,
+        ),
+        ae_config,
+    )
+
+
+def make_base_ff(
+    ae_config: Optional[AutoencoderConfig] = None,
+    critic_n: int = 3,
+    train_stride: int = 1,
+) -> CompoundBehaviorModel:
+    """Base-FF: the Baseline framework on ACOBE's fine-grained features.
+
+    Fit it with the fine-grained cube from
+    :func:`repro.features.cert.extract_cert_measurements`.
+    """
+    return _zoo_model(
+        ModelConfig(
+            name="Base-FF",
+            representation="normalized",
+            matrix_days=1,
+            apply_weights=False,
+            include_group=False,
+            critic_n=critic_n,
+            train_stride=train_stride,
+        ),
+        ae_config,
+    )

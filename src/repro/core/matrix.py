@@ -1,0 +1,150 @@
+"""Compound behavioral deviation matrices (Section IV-A, Figure 2).
+
+A compound matrix for user *u* anchored at day *d* stacks four blocks --
+individual-behaviour and group-behaviour deviations, each across every
+time-frame -- over the ``matrix_days`` window ending at *d*.  The paper
+notes the stacking order is irrelevant because matrices are flattened
+before entering the autoencoders; we stack ``[individual; group]`` along
+the feature axis and flatten in C order.
+
+Values are optionally weighted by Eq. (1) (weights are in (0, 1], so
+weighted deviations stay inside [-Delta, Delta]) and finally mapped to
+[0, 1] as the paper does before feeding the autoencoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.deviation import DeviationCube, normalize_to_unit
+from repro.features.spec import FeatureSet
+
+
+@dataclass
+class CompoundMatrices:
+    """Flattened compound matrices for a set of users and anchor days.
+
+    ``vectors[u, j]`` is the flattened matrix of ``users[u]`` anchored at
+    ``anchor_days[j]``; its length is
+    ``n_blocks * n_features * n_timeframes * matrix_days`` where
+    ``n_blocks`` is 2 with group behaviour and 1 without.
+    """
+
+    vectors: np.ndarray  # (n_users, n_anchor_days, dim)
+    users: List[str]
+    anchor_days: List[date]
+    feature_names: List[str]
+    matrix_days: int
+    includes_group: bool
+
+    def __post_init__(self) -> None:
+        if self.vectors.ndim != 3:
+            raise ValueError(f"vectors must be 3-D, got shape {self.vectors.shape}")
+        if self.vectors.shape[0] != len(self.users):
+            raise ValueError("vectors/users mismatch")
+        if self.vectors.shape[1] != len(self.anchor_days):
+            raise ValueError("vectors/anchor_days mismatch")
+        self._day_index = {d: i for i, d in enumerate(self.anchor_days)}
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[2]
+
+    def day_index(self, day: date) -> int:
+        try:
+            return self._day_index[day]
+        except KeyError:
+            raise KeyError(f"no matrix anchored at {day}") from None
+
+    def training_set(self) -> np.ndarray:
+        """All vectors pooled into a 2-D training matrix."""
+        return self.vectors.reshape(-1, self.dim)
+
+    def matrix_of(self, user: str, day: date, n_timeframes: int) -> np.ndarray:
+        """Un-flatten one compound matrix back to (blocks*F, T, D) for display."""
+        u = self.users.index(user)
+        vec = self.vectors[u, self.day_index(day)]
+        n_rows = len(self.feature_names) * (2 if self.includes_group else 1)
+        return vec.reshape(n_rows, n_timeframes, self.matrix_days)
+
+
+def build_compound_matrices(
+    deviations: DeviationCube,
+    anchor_days: Sequence[date],
+    matrix_days: int = 30,
+    include_group: bool = True,
+    apply_weights: bool = True,
+    feature_indices: Optional[Sequence[int]] = None,
+) -> CompoundMatrices:
+    """Assemble flattened compound matrices from a deviation cube.
+
+    Args:
+        deviations: per-user and per-group deviations.
+        anchor_days: the days each matrix ends at; every anchor must have
+            ``matrix_days - 1`` deviation days before it.
+        matrix_days: the in-matrix window ``D`` (paper: the time window,
+            e.g. several days; defaults to 30 like omega).
+        include_group: embed the group-behaviour block (ACOBE: yes;
+            the No-Group ablation: no).
+        apply_weights: multiply deviations by Eq. (1) weights.
+        feature_indices: restrict to these feature indices (used to build
+            per-aspect matrices); defaults to every feature.
+
+    Returns:
+        The flattened matrices, mapped to [0, 1].
+    """
+    if matrix_days < 1:
+        raise ValueError(f"matrix_days must be >= 1, got {matrix_days}")
+    n_days = len(deviations.days)
+    if matrix_days > n_days:
+        raise ValueError(f"matrix_days {matrix_days} exceeds available deviation days {n_days}")
+
+    if feature_indices is None:
+        feature_indices = list(range(len(deviations.feature_set)))
+    feature_indices = list(feature_indices)
+    if not feature_indices:
+        raise ValueError("need at least one feature")
+
+    sigma = deviations.sigma[:, feature_indices]
+    weights = deviations.weights[:, feature_indices]
+    values = sigma * weights if apply_weights else sigma
+
+    if include_group:
+        g_sigma = deviations.group_sigma[:, feature_indices]
+        g_weights = deviations.group_weights[:, feature_indices]
+        g_values = g_sigma * g_weights if apply_weights else g_sigma
+        # Broadcast each user's group block.
+        g_values = g_values[deviations.group_of_user]
+        values = np.concatenate([values, g_values], axis=1)
+
+    values = normalize_to_unit(values, deviations.config.delta)
+
+    anchor_indices = []
+    for day in anchor_days:
+        j = deviations.day_index(day)
+        if j < matrix_days - 1:
+            raise ValueError(
+                f"anchor {day} needs {matrix_days - 1} prior deviation days, has {j}"
+            )
+        anchor_indices.append(j)
+
+    n_users = values.shape[0]
+    dim = values.shape[1] * values.shape[2] * matrix_days
+    vectors = np.empty((n_users, len(anchor_indices), dim))
+    for out_j, j in enumerate(anchor_indices):
+        window = values[..., j - matrix_days + 1 : j + 1]
+        vectors[:, out_j, :] = window.reshape(n_users, -1)
+
+    feature_names = [deviations.feature_set.feature_names[i] for i in feature_indices]
+    return CompoundMatrices(
+        vectors=vectors,
+        users=list(deviations.users),
+        anchor_days=[deviations.days[j] for j in anchor_indices],
+        feature_names=feature_names,
+        matrix_days=matrix_days,
+        includes_group=include_group,
+    )

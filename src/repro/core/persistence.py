@@ -1,0 +1,124 @@
+"""Save/load trained compound-behaviour models.
+
+A fitted :class:`~repro.core.detector.CompoundBehaviorModel` is two
+things: a :class:`~repro.core.detector.ModelConfig` and one trained
+autoencoder per behavioural aspect.  ``save_model`` writes both to a
+directory (``config.json`` + ``ae_<aspect>.npz``); ``load_model``
+restores them.  The behavioural *representation* is data, not model
+state -- after loading, call
+:func:`attach_representation` with the measurement cube to score against
+(the deviation math is deterministic, so this is cheap and leaks
+nothing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from datetime import date
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.core.detector import CompoundBehaviorModel, ModelConfig
+from repro.features.measurements import MeasurementCube
+from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+from repro.nn.serialization import load_network, save_network
+
+_CONFIG_FILE = "config.json"
+
+
+def save_model(model: CompoundBehaviorModel, directory: Union[str, Path]) -> Path:
+    """Persist a fitted model's config and autoencoder weights.
+
+    Returns:
+        The directory written.
+    """
+    if not model.fitted:
+        raise ValueError("cannot save an unfitted model")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    config_dict = asdict(model.config)
+    config_dict["autoencoder"].pop("extra", None)
+    payload = {
+        "config": config_dict,
+        "aspects": {},
+    }
+    for aspect in model.aspect_names:
+        autoencoder = model.autoencoder(aspect)
+        payload["aspects"][aspect] = {"input_dim": autoencoder.input_dim}
+        save_network(autoencoder.network, directory / f"ae_{aspect}.npz")
+    (directory / _CONFIG_FILE).write_text(json.dumps(payload, indent=2))
+    return directory
+
+
+def load_model(directory: Union[str, Path]) -> CompoundBehaviorModel:
+    """Load a model saved by :func:`save_model`.
+
+    The returned model has its autoencoders restored but no behavioural
+    representation yet; call :func:`attach_representation` before
+    scoring.
+    """
+    directory = Path(directory)
+    config_path = directory / _CONFIG_FILE
+    if not config_path.exists():
+        raise FileNotFoundError(f"no saved model at {directory}")
+    payload = json.loads(config_path.read_text())
+
+    config_dict = dict(payload["config"])
+    ae_dict = dict(config_dict.pop("autoencoder"))
+    ae_dict["encoder_units"] = tuple(ae_dict["encoder_units"])
+    ae_dict.pop("extra", None)
+    config = ModelConfig(autoencoder=AutoencoderConfig(**ae_dict), **config_dict)
+
+    model = CompoundBehaviorModel(config)
+    restored = {}
+    for aspect, meta in payload["aspects"].items():
+        autoencoder = Autoencoder(input_dim=int(meta["input_dim"]), config=config.autoencoder)
+        load_network(autoencoder.network, directory / f"ae_{aspect}.npz")
+        autoencoder._fitted = True
+        restored[aspect] = autoencoder
+    model._autoencoders = restored
+    return model
+
+
+def attach_representation(
+    model: CompoundBehaviorModel,
+    cube: MeasurementCube,
+    group_map: Optional[Mapping[str, str]],
+    train_days: Sequence[date],
+) -> CompoundBehaviorModel:
+    """Rebuild the behavioural representation for a loaded model.
+
+    Recomputes deviations (or normalization stats from ``train_days``)
+    over ``cube`` exactly as :meth:`CompoundBehaviorModel.fit` would,
+    validates that every restored autoencoder's input width matches the
+    cube's aspects, and marks the model fitted.
+
+    Raises:
+        ValueError: when the cube's aspects or dimensions do not match
+            the autoencoders the model was trained with.
+    """
+    model._deviations = model._build_representation(cube, dict(group_map or {}), train_days)
+    model._aspects = model._resolve_aspects(cube.feature_set)
+
+    expected = set(a.name for a in model._aspects)
+    restored = set(model._autoencoders)
+    if expected != restored:
+        raise ValueError(
+            f"aspect mismatch: cube has {sorted(expected)}, saved model has {sorted(restored)}"
+        )
+    anchors = model.valid_anchor_days(list(cube.days))
+    if not anchors:
+        raise ValueError("cube has no day with enough history for this model's windows")
+    probe = anchors[-1:]
+    for aspect in model._aspects:
+        matrices = model._matrices_for(aspect, probe)
+        autoencoder = model._autoencoders[aspect.name]
+        if matrices.dim != autoencoder.input_dim:
+            raise ValueError(
+                f"dimension mismatch for aspect {aspect.name!r}: "
+                f"cube produces {matrices.dim}, autoencoder expects {autoencoder.input_dim}"
+            )
+    model._fitted = True
+    return model

@@ -1,0 +1,43 @@
+"""Synthetic data substrate.
+
+The paper evaluates on the CERT Insider Threat Test Dataset (r6.1/r6.2)
+and on a private enterprise dataset; neither is available offline, so
+this subpackage builds the closest synthetic equivalents:
+
+* :mod:`repro.datagen.calendar` -- working-day calendar with holidays,
+  busy Mondays / make-up days (the false-positive trap the paper calls
+  out) and working/off-hour rhythm.
+* :mod:`repro.datagen.org` -- LDAP-style organization tree; a user's
+  group is its third-tier organizational unit, as in the paper.
+* :mod:`repro.datagen.profiles` -- per-user habitual behaviour profiles
+  (Poisson activity rates per time-frame, vocabularies of files/domains/
+  hosts, off-hour worker and thumb-drive user traits).
+* :mod:`repro.datagen.simulator` -- generates CERT-style device/file/
+  http/email/logon logs over a date range, including group-correlated
+  environmental changes (new services, outages).
+* :mod:`repro.datagen.scenarios` -- injects the paper's two insider
+  threat scenarios with ground-truth labels.
+* :mod:`repro.datagen.enterprise` -- enterprise audit logs (Windows,
+  Sysmon, PowerShell, proxy, DNS) for the Section VI case studies.
+* :mod:`repro.datagen.attacks` -- Zeus-botnet and WannaCry-ransomware
+  attack injection, including a newGOZ-style domain-generation algorithm.
+"""
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import Organization, build_organization
+from repro.datagen.profiles import UserProfile, sample_profile
+from repro.datagen.scenarios import ScenarioInjection, inject_scenario1, inject_scenario2
+from repro.datagen.simulator import CertDataset, simulate_cert_dataset
+
+__all__ = [
+    "CertDataset",
+    "Organization",
+    "ScenarioInjection",
+    "SimulationCalendar",
+    "UserProfile",
+    "build_organization",
+    "inject_scenario1",
+    "inject_scenario2",
+    "sample_profile",
+    "simulate_cert_dataset",
+]

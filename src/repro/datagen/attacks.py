@@ -1,0 +1,153 @@
+"""Cyber-attack injection for the case studies (Section VI).
+
+Two controlled attacks are reproduced against a victim in the enterprise
+dataset:
+
+* **Zeus botnet** -- on the attack day: download of the downloader app
+  (proxy), execution (Command), deletion of the downloader and registry
+  modifications (Config).  *A few days later* the bot goes active:
+  C&C connections (HTTP successes to a new domain) and floods of
+  NXDOMAIN queries to newGOZ-generated domains (HTTP failures, DNS) --
+  the cross-day multi-aspect footprint that motivates long-term
+  reconstruction.
+* **WannaCry ransomware** -- on the attack day: execution, registry
+  modifications, then several days of mass file reads/writes/deletes as
+  files are encrypted (File aspect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, time, timedelta
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datagen.dga import newgoz_domains
+from repro.datagen.enterprise import EnterpriseDataset
+from repro.logs.schema import DnsEvent, ProxyEvent, SysmonEvent, WindowsEvent
+
+
+@dataclass(frozen=True)
+class AttackInjection:
+    """Ground truth for one injected attack."""
+
+    victim: str
+    attack: str  # "zeus" | "wannacry"
+    attack_day: date
+    end: date
+
+    def __post_init__(self) -> None:
+        if self.attack not in ("zeus", "wannacry"):
+            raise ValueError(f"unknown attack {self.attack!r}")
+        if self.end < self.attack_day:
+            raise ValueError("attack end precedes attack day")
+
+
+def _ts(rng: np.random.Generator, day: date, start_hour: int = 9, end_hour: int = 18) -> datetime:
+    hour = int(rng.integers(start_hour, end_hour))
+    return datetime.combine(day, time(hour, int(rng.integers(0, 60)), int(rng.integers(0, 60))))
+
+
+def inject_zeus(
+    dataset: EnterpriseDataset,
+    victim: str,
+    attack_day: date,
+    active_delay_days: int = 2,
+    active_days: int = 14,
+    dga_queries_per_day: int = 40,
+    seed: Optional[int] = 301,
+) -> AttackInjection:
+    """Inject a Zeus-botnet compromise of ``victim`` on ``attack_day``."""
+    _require_user(dataset, victim)
+    rng = np.random.default_rng(seed)
+    store = dataset.store
+    downloader = r"C:\Users\victim\Downloads\invoice_viewer.exe"
+    zeus_image = r"C:\Users\victim\AppData\Roaming\ydgqap\zeus.exe"
+
+    # Day 0: download, execute, delete downloader, modify registry.
+    ts = _ts(rng, attack_day)
+    store.append(ProxyEvent(ts, victim, "cdn.freedownloads.example.net", "/invoice_viewer.exe",
+                            "success", bytes_out=300, bytes_in=450_000))
+    store.append(SysmonEvent(ts + timedelta(minutes=1), victim, 1, image=downloader, target=""))
+    store.append(SysmonEvent(ts + timedelta(minutes=2), victim, 11, image=downloader, target=zeus_image))
+    store.append(SysmonEvent(ts + timedelta(minutes=3), victim, 1, image=zeus_image, target=""))
+    # Registry persistence + configuration tampering.
+    for key in (
+        r"HKCU\Software\Microsoft\Windows\CurrentVersion\Run\ydgqap",
+        r"HKCU\Software\Microsoft\Zeus\Config",
+        r"HKLM\SYSTEM\CurrentControlSet\Services\ydgqap",
+    ):
+        store.append(SysmonEvent(ts + timedelta(minutes=4), victim, 13, image=zeus_image, target=key))
+    # Delete the downloader (file aspect, small footprint).
+    store.append(SysmonEvent(ts + timedelta(minutes=6), victim, 11, image=zeus_image, target=downloader))
+
+    # Days +delay .. +delay+active: C&C + DGA NXDOMAIN flood.
+    first_active = attack_day + timedelta(days=active_delay_days)
+    end = first_active + timedelta(days=active_days - 1)
+    cc_domain = "cc.gameover.example.su"
+    day = first_active
+    while day <= end:
+        n_cc = 2 + int(rng.poisson(3.0))
+        for _ in range(n_cc):
+            store.append(
+                ProxyEvent(_ts(rng, day, 0, 18), victim, cc_domain, "/gate.php", "success",
+                           bytes_out=4_000, bytes_in=1_000)
+            )
+        for domain in newgoz_domains(day, dga_queries_per_day):
+            ts_q = _ts(rng, day, 0, 18)
+            store.append(DnsEvent(ts_q, victim, domain, resolved=False))
+            store.append(ProxyEvent(ts_q, victim, domain, "/", "failure"))
+        day += timedelta(days=1)
+    store.sort()
+    injection = AttackInjection(victim=victim, attack="zeus", attack_day=attack_day, end=end)
+    dataset.attacks.append(injection)
+    return injection
+
+
+def inject_wannacry(
+    dataset: EnterpriseDataset,
+    victim: str,
+    attack_day: date,
+    encryption_days: int = 3,
+    files_per_day: int = 250,
+    seed: Optional[int] = 302,
+) -> AttackInjection:
+    """Inject a WannaCry-ransomware compromise of ``victim``."""
+    _require_user(dataset, victim)
+    if encryption_days <= 0:
+        raise ValueError("encryption_days must be positive")
+    rng = np.random.default_rng(seed)
+    store = dataset.store
+    wcry_image = r"C:\Users\victim\AppData\Local\Temp\tasksche.exe"
+
+    ts = _ts(rng, attack_day)
+    store.append(SysmonEvent(ts, victim, 1, image=wcry_image, target=""))
+    store.append(WindowsEvent(ts + timedelta(minutes=1), victim, 4688, channel="Security", detail=wcry_image))
+    for key in (
+        r"HKLM\SOFTWARE\WanaCrypt0r",
+        r"HKCU\Software\Microsoft\Windows\CurrentVersion\Run\tasksche",
+        r"HKLM\SYSTEM\CurrentControlSet\Control\WanaCrypt0r",
+    ):
+        store.append(SysmonEvent(ts + timedelta(minutes=2), victim, 13, image=wcry_image, target=key))
+
+    end = attack_day + timedelta(days=encryption_days - 1)
+    day = attack_day
+    while day <= end:
+        for i in range(files_per_day):
+            ts_f = _ts(rng, day, 0, 18)
+            original = rf"C:\Users\victim\Documents\doc-{rng.integers(0, 5000):05d}.docx"
+            # read (4663), encrypted copy written (11), original deleted (4660)
+            store.append(WindowsEvent(ts_f, victim, 4663, channel="Security", detail=original))
+            store.append(SysmonEvent(ts_f, victim, 11, image=wcry_image, target=original + ".WNCRY"))
+            store.append(WindowsEvent(ts_f, victim, 4660, channel="Security", detail=original))
+        day += timedelta(days=1)
+    store.sort()
+    injection = AttackInjection(victim=victim, attack="wannacry", attack_day=attack_day, end=end)
+    dataset.attacks.append(injection)
+    return injection
+
+
+def _require_user(dataset: EnterpriseDataset, user: str) -> None:
+    if user not in dataset.profiles:
+        raise KeyError(f"user {user!r} not in dataset")

@@ -1,0 +1,133 @@
+"""Working-day calendar for the simulators.
+
+Captures the locale effects the paper leans on:
+
+* weekends and holidays have far fewer human-initiated activities;
+* the first working day after a weekend or holiday is a **busy day**
+  ("working Mondays and make-up days") with a burst of catch-up events --
+  the situation in which single-day models wrongly flag many normal
+  users (Section III);
+* human-initiated activity concentrates in working hours, while
+  computer-initiated activity (updates, backups, retries) dominates off
+  hours (Section III, granularity discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.utils.timeutil import date_range
+
+
+def default_holidays(years: Iterable[int]) -> Set[date]:
+    """A fixed, US-flavoured holiday set for the given years.
+
+    New Year's Day, Independence Day, Christmas Eve + Day, plus a
+    late-November Thursday/Friday pair standing in for Thanksgiving.
+    """
+    holidays: Set[date] = set()
+    for year in years:
+        holidays.add(date(year, 1, 1))
+        holidays.add(date(year, 7, 4))
+        holidays.add(date(year, 12, 24))
+        holidays.add(date(year, 12, 25))
+        # Fourth Thursday of November and the day after.
+        november = date(year, 11, 1)
+        offset = (3 - november.weekday()) % 7  # first Thursday
+        thanksgiving = november + timedelta(days=offset + 21)
+        holidays.add(thanksgiving)
+        holidays.add(thanksgiving + timedelta(days=1))
+    return holidays
+
+
+@dataclass(frozen=True)
+class SimulationCalendar:
+    """Date-range calendar with weekends, holidays and busy-day factors."""
+
+    start: date
+    end: date
+    holidays: FrozenSet[date] = field(default_factory=frozenset)
+    busy_day_factor: float = 1.6
+    weekend_activity_factor: float = 0.12
+    holiday_activity_factor: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"end {self.end} precedes start {self.start}")
+        if self.busy_day_factor < 1.0:
+            raise ValueError("busy_day_factor must be >= 1")
+        for factor in (self.weekend_activity_factor, self.holiday_activity_factor):
+            if not 0.0 <= factor <= 1.0:
+                raise ValueError("off-day activity factors must be in [0, 1]")
+
+    @classmethod
+    def with_default_holidays(cls, start: date, end: date, **kwargs) -> "SimulationCalendar":
+        """Build a calendar whose holidays cover every year in range."""
+        years = range(start.year, end.year + 1)
+        return cls(start=start, end=end, holidays=frozenset(default_holidays(years)), **kwargs)
+
+    # ------------------------------------------------------------------
+    def days(self) -> List[date]:
+        """All simulated days, inclusive."""
+        return date_range(self.start, self.end)
+
+    def n_days(self) -> int:
+        return (self.end - self.start).days + 1
+
+    def is_weekend(self, day: date) -> bool:
+        return day.weekday() >= 5
+
+    def is_holiday(self, day: date) -> bool:
+        return day in self.holidays
+
+    def is_working_day(self, day: date) -> bool:
+        return not self.is_weekend(day) and not self.is_holiday(day)
+
+    def is_busy_day(self, day: date) -> bool:
+        """First working day after at least one non-working day."""
+        if not self.is_working_day(day):
+            return False
+        previous = day - timedelta(days=1)
+        return not self.is_working_day(previous)
+
+    def activity_factor(self, day: date) -> float:
+        """Multiplier on human-initiated activity volume for ``day``.
+
+        1.0 on ordinary working days, ``busy_day_factor`` on busy days,
+        and small fractions on weekends/holidays.
+        """
+        if self.is_holiday(day):
+            return self.holiday_activity_factor
+        if self.is_weekend(day):
+            return self.weekend_activity_factor
+        if self.is_busy_day(day):
+            return self.busy_day_factor
+        return 1.0
+
+    def working_days(self) -> List[date]:
+        """All working days in range."""
+        return [d for d in self.days() if self.is_working_day(d)]
+
+    def split(self, boundary: date) -> Tuple["SimulationCalendar", "SimulationCalendar"]:
+        """Split into [start, boundary] and (boundary, end] calendars."""
+        if not self.start <= boundary < self.end:
+            raise ValueError(f"boundary {boundary} outside ({self.start}, {self.end})")
+        head = SimulationCalendar(
+            self.start,
+            boundary,
+            self.holidays,
+            self.busy_day_factor,
+            self.weekend_activity_factor,
+            self.holiday_activity_factor,
+        )
+        tail = SimulationCalendar(
+            boundary + timedelta(days=1),
+            self.end,
+            self.holidays,
+            self.busy_day_factor,
+            self.weekend_activity_factor,
+            self.holiday_activity_factor,
+        )
+        return head, tail

@@ -1,0 +1,44 @@
+"""A newGOZ-style domain-generation algorithm.
+
+Gameover/Peer-to-Peer Zeus generate per-day pseudo-random domains by
+hashing a (day, index) pair and mapping the digest into a letter string
+plus a TLD.  This implementation follows that structure (MD5 over the
+date fields and index, base-36 letters, rotating TLD set) so the botnet
+case study produces realistic NXDOMAIN floods, without reproducing the
+exact malware constants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from datetime import date
+from typing import List
+
+_TLDS = ("com", "net", "org", "biz", "info")
+
+
+def newgoz_domain(day: date, index: int, seed: int = 0x35190501) -> str:
+    """The ``index``-th generated domain for ``day``.
+
+    Deterministic: the same (day, index, seed) always yields the same
+    domain, like a real DGA that both malware and sinkholers can run.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    material = f"{seed:x}:{day.year}:{day.month}:{day.day}:{index}".encode("ascii")
+    digest = hashlib.md5(material).digest()
+    # 12-22 letters derived from successive digest bytes, base-26.
+    length = 12 + digest[0] % 11
+    letters = []
+    stretched = (digest * ((length // len(digest)) + 2))[:length]
+    for byte in stretched:
+        letters.append(chr(ord("a") + byte % 26))
+    tld = _TLDS[digest[-1] % len(_TLDS)]
+    return "".join(letters) + "." + tld
+
+
+def newgoz_domains(day: date, count: int, seed: int = 0x35190501) -> List[str]:
+    """The first ``count`` generated domains for ``day``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [newgoz_domain(day, i, seed=seed) for i in range(count)]

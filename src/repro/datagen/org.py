@@ -1,0 +1,136 @@
+"""LDAP-style organization model.
+
+The paper defines a user's *group* as its organizational department
+("the third-tier organizational unit listed in the LDAP logs") and
+evaluates on four departments totalling 929 users (925 normal + 4
+abnormal).  :func:`build_organization` creates an equivalent org tree
+with CERT-style user ids (three letters + four digits, e.g. ``JPH1910``).
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.logs.schema import UserRecord
+
+_FIRST = (
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+)
+_LAST = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+)
+_ROLES = ("Employee", "Engineer", "Analyst", "Manager", "Director")
+
+
+@dataclass
+class Organization:
+    """A set of LDAP user records grouped into departments."""
+
+    name: str
+    users: List[UserRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [u.user for u in self.users]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate user ids in organization")
+
+    def user_ids(self) -> List[str]:
+        """Sorted user ids."""
+        return sorted(u.user for u in self.users)
+
+    def departments(self) -> List[str]:
+        """Sorted distinct department names (third-tier org units)."""
+        return sorted({u.department for u in self.users})
+
+    def members(self, department: str) -> List[UserRecord]:
+        """Records of one department, sorted by user id."""
+        records = [u for u in self.users if u.department == department]
+        if not records:
+            raise KeyError(f"no such department: {department}")
+        return sorted(records, key=lambda u: u.user)
+
+    def department_of(self, user_id: str) -> str:
+        """Department of one user."""
+        return self.record(user_id).department
+
+    def record(self, user_id: str) -> UserRecord:
+        """The LDAP record of one user."""
+        for record in self.users:
+            if record.user == user_id:
+                return record
+        raise KeyError(f"no such user: {user_id}")
+
+    def group_map(self) -> Dict[str, str]:
+        """Mapping user id -> department for every user."""
+        return {u.user: u.department for u in self.users}
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def _cert_user_id(rng: np.random.Generator, taken: set) -> str:
+    """A CERT-style id: three uppercase letters + four digits, unique."""
+    letters = string.ascii_uppercase
+    while True:
+        uid = (
+            "".join(rng.choice(list(letters), size=3))
+            + f"{rng.integers(0, 10000):04d}"
+        )
+        if uid not in taken:
+            taken.add(uid)
+            return uid
+
+
+def build_organization(
+    department_sizes: Sequence[int],
+    name: str = "DTAA",
+    n_divisions: int = 2,
+    seed: Optional[int] = 0,
+) -> Organization:
+    """Create an organization with the given department sizes.
+
+    Args:
+        department_sizes: number of users in each department; the paper's
+            evaluation uses four departments totalling 929 users.
+        name: company name (tier 1 of the org path).
+        n_divisions: number of second-tier divisions the departments are
+            spread across.
+        seed: RNG seed for ids/names/roles.
+
+    Returns:
+        An :class:`Organization` with unique CERT-style user ids.
+    """
+    if not department_sizes:
+        raise ValueError("need at least one department")
+    if any(size <= 0 for size in department_sizes):
+        raise ValueError(f"department sizes must be positive, got {department_sizes}")
+    if n_divisions <= 0:
+        raise ValueError("n_divisions must be positive")
+
+    rng = np.random.default_rng(seed)
+    taken: set = set()
+    users: List[UserRecord] = []
+    for dept_index, size in enumerate(department_sizes):
+        division = f"Division {dept_index % n_divisions + 1}"
+        department = f"Department {dept_index + 1}"
+        for _ in range(size):
+            uid = _cert_user_id(rng, taken)
+            employee_name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+            role = str(rng.choice(_ROLES, p=(0.55, 0.2, 0.15, 0.07, 0.03)))
+            users.append(
+                UserRecord(
+                    user=uid,
+                    employee_name=employee_name,
+                    org_path=(name, division, department),
+                    role=role,
+                )
+            )
+    return Organization(name=name, users=users)

@@ -1,0 +1,176 @@
+"""Per-user habitual behaviour profiles.
+
+A profile is the ground-truth "habitual pattern" the paper's anomaly
+detector is supposed to learn: stable per-time-frame activity rates, a
+vocabulary of files/domains/hosts the user habitually touches, and a few
+behavioural traits (thumb-drive user, off-hour worker).  The simulator
+draws Poisson event counts around these rates day by day.
+
+Rates are expressed per *ordinary working day*; the calendar's
+``activity_factor`` scales human-initiated activity on busy days,
+weekends and holidays, while computer-initiated activity (system
+retries, updates) stays flat -- reproducing the working-hours vs
+off-hours asymmetry the paper discusses in Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Upload file types with habitual popularity (most users rarely upload).
+UPLOAD_FILETYPES = ("doc", "exe", "jpg", "pdf", "txt", "zip")
+
+
+@dataclass
+class UserProfile:
+    """Habitual behaviour of a single user.
+
+    All ``*_rate`` attributes are mean event counts per ordinary working
+    day during *working hours*; the off-hours share is controlled by
+    ``off_hour_fraction`` (or ``off_hour_worker``).
+    """
+
+    user: str
+    # -- logon behaviour ------------------------------------------------
+    logon_rate: float = 2.0
+    off_hour_worker: bool = False
+    off_hour_fraction: float = 0.03
+    # -- device (thumb-drive) behaviour ---------------------------------
+    device_user: bool = False
+    device_rate: float = 0.0
+    n_habitual_hosts: int = 1
+    # -- file behaviour --------------------------------------------------
+    file_open_rate: float = 12.0
+    file_write_rate: float = 4.0
+    file_copy_rate: float = 0.6
+    remote_fraction: float = 0.25
+    n_habitual_files: int = 40
+    new_file_rate: float = 0.8
+    # -- http behaviour ---------------------------------------------------
+    http_visit_rate: float = 25.0
+    http_download_rate: float = 1.5
+    upload_rates: Dict[str, float] = field(default_factory=dict)
+    n_habitual_domains: int = 20
+    new_domain_rate: float = 0.5
+    # -- email ------------------------------------------------------------
+    email_send_rate: float = 6.0
+    # -- computer-initiated off-hour noise (not scaled by calendar) -------
+    machine_noise_rate: float = 1.5
+
+    def __post_init__(self) -> None:
+        numeric = (
+            self.logon_rate,
+            self.off_hour_fraction,
+            self.device_rate,
+            self.file_open_rate,
+            self.file_write_rate,
+            self.file_copy_rate,
+            self.remote_fraction,
+            self.new_file_rate,
+            self.http_visit_rate,
+            self.http_download_rate,
+            self.new_domain_rate,
+            self.email_send_rate,
+            self.machine_noise_rate,
+        )
+        if any(v < 0 for v in numeric):
+            raise ValueError(f"profile rates must be non-negative ({self.user})")
+        if not 0.0 <= self.remote_fraction <= 1.0:
+            raise ValueError("remote_fraction must be in [0, 1]")
+        if not 0.0 <= self.off_hour_fraction <= 1.0:
+            raise ValueError("off_hour_fraction must be in [0, 1]")
+        if self.n_habitual_files <= 0 or self.n_habitual_domains <= 0:
+            raise ValueError("habitual vocabularies must be non-empty")
+        for filetype, rate in self.upload_rates.items():
+            if filetype not in UPLOAD_FILETYPES:
+                raise ValueError(f"unknown upload filetype {filetype!r}")
+            if rate < 0:
+                raise ValueError("upload rates must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def habitual_files(self) -> List[str]:
+        """File ids this user habitually touches."""
+        return [f"F-{self.user}-{i:03d}" for i in range(self.n_habitual_files)]
+
+    @property
+    def habitual_domains(self) -> List[str]:
+        """Domains this user habitually visits (mix of shared + personal)."""
+        shared = [f"intranet{i}.dtaa.com" for i in range(5)]
+        personal = [f"site-{self.user.lower()}-{i:02d}.example.com" for i in range(self.n_habitual_domains)]
+        return shared + personal
+
+    @property
+    def habitual_hosts(self) -> List[str]:
+        """Hosts (PCs) the user habitually connects thumb drives to."""
+        return [f"PC-{self.user}-{i}" for i in range(max(1, self.n_habitual_hosts))]
+
+    @property
+    def own_pc(self) -> str:
+        return f"PC-{self.user}-0"
+
+
+def sample_profile(
+    user: str,
+    rng: np.random.Generator,
+    device_user_prob: float = 0.25,
+    off_hour_worker_prob: float = 0.10,
+) -> UserProfile:
+    """Draw a randomized but habit-stable profile for ``user``.
+
+    Rate dispersion across users is log-normal (people differ a lot);
+    per-day dispersion is handled later by Poisson sampling in the
+    simulator, so day-to-day behaviour of one user stays stable.
+    """
+
+    def lognorm(mean: float, sigma: float = 0.45) -> float:
+        return float(mean * rng.lognormal(0.0, sigma))
+
+    device_user = bool(rng.random() < device_user_prob)
+    off_hour_worker = bool(rng.random() < off_hour_worker_prob)
+    upload_rates: Dict[str, float] = {}
+    # A minority of users habitually upload a couple of file types
+    # (e.g. sharing photos or zipped reports).  Habits are *regular*:
+    # either a user does not do something at all, or does it at a rate
+    # high enough that its day-to-day z-scores stay moderate -- rare
+    # spiky habits would otherwise saturate the deviation clamp and
+    # drown genuine anomalies (the paper's features behave the same way
+    # on CERT data: habitual behaviour is consistent, not sporadic).
+    for filetype in UPLOAD_FILETYPES:
+        if rng.random() < 0.15:
+            upload_rates[filetype] = lognorm(2.5, 0.3)
+    return UserProfile(
+        user=user,
+        logon_rate=lognorm(2.0, 0.2),
+        off_hour_worker=off_hour_worker,
+        off_hour_fraction=0.25 if off_hour_worker else float(rng.uniform(0.01, 0.06)),
+        device_user=device_user,
+        device_rate=lognorm(3.0, 0.3) if device_user else 0.0,
+        n_habitual_hosts=int(rng.integers(1, 3)) if device_user else 1,
+        file_open_rate=lognorm(12.0),
+        file_write_rate=lognorm(4.0),
+        file_copy_rate=lognorm(2.5, 0.3),
+        remote_fraction=float(rng.uniform(0.1, 0.4)),
+        n_habitual_files=int(rng.integers(20, 80)),
+        new_file_rate=lognorm(2.0, 0.3),
+        http_visit_rate=lognorm(25.0),
+        http_download_rate=lognorm(3.0, 0.3),
+        upload_rates=upload_rates,
+        n_habitual_domains=int(rng.integers(10, 40)),
+        new_domain_rate=lognorm(2.0, 0.3),
+        email_send_rate=lognorm(6.0),
+        machine_noise_rate=lognorm(1.5),
+    )
+
+
+def sample_profiles(
+    users: List[str],
+    seed: Optional[int] = 0,
+    **kwargs,
+) -> Dict[str, UserProfile]:
+    """Profiles for a whole population, reproducible from ``seed``."""
+    rng = np.random.default_rng(seed)
+    return {user: sample_profile(user, rng, **kwargs) for user in users}

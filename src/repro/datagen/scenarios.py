@@ -1,0 +1,443 @@
+"""Insider-threat scenario injection (Section V-A1 of the paper).
+
+Two scenarios from the CERT dataset are reproduced:
+
+* **Scenario 1** -- a user who *never* used removable drives or worked
+  off hours begins logging in after hours, using a thumb drive, and
+  uploading data to wikileaks.org; they leave the organization shortly
+  thereafter.  A short (~2.5 week), sharp anomaly.
+* **Scenario 2** -- a user starts surfing job websites and soliciting
+  employment from a competitor (uploading ``resume.doc`` to several job
+  sites); before leaving they use a thumb drive *at markedly higher
+  rates than before* to steal data.  A long (~2 month), low-signal
+  anomaly: exactly the kind single-day models miss.
+
+Injected events are *added on top of* the victim's normal traffic; the
+injection object records the ground-truth labelled days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, time, timedelta
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datagen.simulator import CertDataset
+from repro.logs.schema import DeviceEvent, EmailEvent, FileEvent, HttpEvent, LogonEvent
+
+JOB_SITES = (
+    "jobhunt.example.com",
+    "careersearch.example.com",
+    "hotjobs.example.com",
+    "recruiting.competitor.com",
+    "jobs.competitor.com",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioInjection:
+    """Ground truth for one injected insider-threat instance."""
+
+    user: str
+    scenario: int  # CERT scenario number (1-5; the paper evaluates 1-2)
+    start: date
+    end: date
+    labeled_days: tuple  # tuple of dates with malicious events
+
+    def __post_init__(self) -> None:
+        if self.scenario not in (1, 2, 3, 4, 5):
+            raise ValueError(f"scenario must be in 1..5, got {self.scenario}")
+        if self.end < self.start:
+            raise ValueError("injection end precedes start")
+        if not self.labeled_days:
+            raise ValueError("injection must label at least one day")
+
+
+def _off_hour_ts(rng: np.random.Generator, day: date) -> datetime:
+    hour = int(rng.choice([19, 20, 21, 22, 23, 0, 1, 2]))
+    return datetime.combine(day, time(hour, int(rng.integers(0, 60))))
+
+
+def _work_hour_ts(rng: np.random.Generator, day: date) -> datetime:
+    hour = int(rng.integers(9, 17))
+    return datetime.combine(day, time(hour, int(rng.integers(0, 60))))
+
+
+def inject_scenario1(
+    dataset: CertDataset,
+    user: str,
+    start: date,
+    duration_days: int = 17,
+    seed: Optional[int] = 101,
+) -> ScenarioInjection:
+    """Inject Scenario 1 for ``user`` starting at ``start``.
+
+    Every labelled day carries off-hour logons, thumb-drive connections
+    on the victim's own PC (novel: the user was not a device user) and
+    uploads of documents/archives to wikileaks.org.
+    """
+    _require_user(dataset, user)
+    rng = np.random.default_rng(seed)
+    profile = dataset.profiles[user]
+    # Ground-truth precondition of the scenario: the victim previously
+    # neither used devices nor worked off hours.  The caller must pick
+    # such a user *before* simulation (see pick_scenario1_victim).
+    if profile.device_user or profile.off_hour_worker:
+        raise ValueError(
+            f"scenario 1 requires a victim who neither uses devices nor works "
+            f"off hours; {user!r} does not qualify"
+        )
+
+    labeled: List[date] = []
+    store = dataset.store
+    stolen_counter = [0]
+    day = start
+    end = start + timedelta(days=duration_days - 1)
+    while day <= end:
+        # The insider acts on most evenings, skipping some days.
+        if rng.random() < 0.8:
+            labeled.append(day)
+            ts = _off_hour_ts(rng, day)
+            store.append(LogonEvent(ts, user, "logon", profile.own_pc))
+            n_connects = int(rng.integers(2, 6))
+            for _ in range(n_connects):
+                tsd = _off_hour_ts(rng, day)
+                store.append(DeviceEvent(tsd, user, "connect", profile.own_pc))
+                store.append(
+                    DeviceEvent(tsd + timedelta(minutes=20), user, "disconnect", profile.own_pc)
+                )
+            # Staging files from the remote share onto the drive; the
+            # insider walks the share, so every staged file is new.
+            n_copies = int(rng.integers(3, 9))
+            for _ in range(n_copies):
+                stolen_counter[0] += 1
+                store.append(
+                    FileEvent(
+                        _off_hour_ts(rng, day),
+                        user,
+                        "copy",
+                        f"F-SENSITIVE-{stolen_counter[0]:05d}",
+                        from_location="remote",
+                        to_location="local",
+                    )
+                )
+            n_uploads = int(rng.integers(2, 7))
+            for _ in range(n_uploads):
+                store.append(
+                    HttpEvent(
+                        _off_hour_ts(rng, day),
+                        user,
+                        "upload",
+                        "wikileaks.org",
+                        filetype=str(rng.choice(["doc", "zip", "pdf"])),
+                    )
+                )
+        day += timedelta(days=1)
+    store.sort()
+    injection = ScenarioInjection(
+        user=user, scenario=1, start=start, end=end, labeled_days=tuple(labeled)
+    )
+    dataset.injections.append(injection)
+    return injection
+
+
+def inject_scenario2(
+    dataset: CertDataset,
+    user: str,
+    start: date,
+    surf_days: int = 45,
+    exfil_days: int = 14,
+    seed: Optional[int] = 202,
+) -> ScenarioInjection:
+    """Inject Scenario 2 for ``user`` starting at ``start``.
+
+    Phase 1 (``surf_days``): job-site surfing plus ``resume.doc``
+    uploads to several job sites on working hours -- a low-signal,
+    long-lasting deviation in the HTTP aspect.
+    Phase 2 (``exfil_days``): thumb-drive usage at markedly higher rates
+    than the user's past, with bulk file copies -- the data theft before
+    leaving the company.
+    """
+    _require_user(dataset, user)
+    rng = np.random.default_rng(seed)
+    profile = dataset.profiles[user]
+
+    labeled: List[date] = []
+    store = dataset.store
+    end = start + timedelta(days=surf_days + exfil_days - 1)
+
+    # Phase 1: job hunting, on working days only (it happens at work).
+    # The insider keeps discovering *new* career sites over time, so the
+    # deviation in upload-doc / new-op persists across the whole phase
+    # ("uploading resume.doc to several websites", Figure 4).
+    day = start
+    fresh_site_counter = 0
+    for _ in range(surf_days):
+        if dataset.calendar.is_working_day(day) and rng.random() < 0.75:
+            labeled.append(day)
+            sites_today = list(JOB_SITES)
+            for _ in range(1 + int(rng.integers(0, 3))):
+                fresh_site_counter += 1
+                sites_today.append(f"careers-{fresh_site_counter:03d}.example.com")
+            n_visits = int(rng.integers(3, 12))
+            for _ in range(n_visits):
+                store.append(
+                    HttpEvent(_work_hour_ts(rng, day), user, "visit", str(rng.choice(sites_today)))
+                )
+            n_uploads = int(rng.integers(1, 4))
+            for _ in range(n_uploads):
+                store.append(
+                    HttpEvent(
+                        _work_hour_ts(rng, day),
+                        user,
+                        "upload",
+                        str(rng.choice(sites_today)),
+                        filetype="doc",
+                    )
+                )
+        day += timedelta(days=1)
+
+    # Phase 2: exfiltration at markedly higher device rates; the thief
+    # sweeps the proprietary share, so every stolen file is distinct.
+    # Counts stay moderate (a handful per day): the deviation z-score
+    # saturates at Delta regardless of magnitude, while Eq. 1 keeps full
+    # weight only while the history std stays below 2 -- stealthy,
+    # persistent exfiltration is both realistic and maximally visible to
+    # ACOBE (see DESIGN.md, interpretation note on the weights).
+    stolen_counter = 0
+    for _ in range(exfil_days):
+        if rng.random() < 0.85:
+            labeled.append(day)
+            n_connects = int(rng.integers(3, 8))
+            for _ in range(n_connects):
+                ts = _work_hour_ts(rng, day)
+                store.append(DeviceEvent(ts, user, "connect", profile.own_pc))
+                store.append(
+                    DeviceEvent(ts + timedelta(minutes=15), user, "disconnect", profile.own_pc)
+                )
+            n_copies = int(rng.integers(4, 10))
+            for _ in range(n_copies):
+                stolen_counter += 1
+                store.append(
+                    FileEvent(
+                        _work_hour_ts(rng, day),
+                        user,
+                        "copy",
+                        f"F-PROPRIETARY-{stolen_counter:05d}",
+                        from_location="remote",
+                        to_location="local",
+                    )
+                )
+        day += timedelta(days=1)
+    store.sort()
+    injection = ScenarioInjection(
+        user=user, scenario=2, start=start, end=end, labeled_days=tuple(sorted(labeled))
+    )
+    dataset.injections.append(injection)
+    return injection
+
+
+def _require_user(dataset: CertDataset, user: str) -> None:
+    if user not in dataset.profiles:
+        raise KeyError(f"user {user!r} not in dataset")
+
+
+def pick_scenario1_victim(dataset: CertDataset, department: str) -> str:
+    """The first member of ``department`` qualifying for Scenario 1.
+
+    Scenario 1 victims must not be habitual device users or off-hour
+    workers (they *begin* doing both when they turn malicious).
+    """
+    for record in dataset.organization.members(department):
+        profile = dataset.profiles[record.user]
+        if not profile.device_user and not profile.off_hour_worker:
+            return record.user
+    raise LookupError(f"no qualifying scenario-1 victim in {department!r}")
+
+
+def pick_scenario2_victim(dataset: CertDataset, department: str, exclude: tuple = ()) -> str:
+    """A member of ``department`` suitable as the Scenario 2 victim.
+
+    Prefers a user with low habitual device usage so the exfiltration
+    phase happens "at markedly higher rates than their previous
+    activity", as the scenario specifies.
+    """
+    best = None
+    best_key = None
+    for record in dataset.organization.members(department):
+        if record.user in exclude:
+            continue
+        profile = dataset.profiles[record.user]
+        # Prefer no habitual doc-uploads (the resume uploads must be a
+        # deviation), then the lowest habitual device usage.
+        key = (profile.upload_rates.get("doc", 0.0), profile.device_rate)
+        if best_key is None or key < best_key:
+            best, best_key = record.user, key
+    if best is None:
+        raise LookupError(f"no qualifying scenario-2 victim in {department!r}")
+    return best
+
+
+def inject_scenario3(
+    dataset: CertDataset,
+    admin: str,
+    supervisor: str,
+    start: date,
+    seed: Optional[int] = 303,
+) -> ScenarioInjection:
+    """Inject CERT Scenario 3: the disgruntled system administrator.
+
+    Beyond the paper's evaluation (which uses Scenarios 1 and 2 only),
+    but part of the CERT dataset this simulator models: the admin
+    downloads a keylogger, transfers it to the supervisor's machine with
+    a thumb drive, collects passwords for a few days, then logs in as
+    the supervisor and sends an alarming mass email before leaving.
+    """
+    _require_user(dataset, admin)
+    _require_user(dataset, supervisor)
+    if admin == supervisor:
+        raise ValueError("admin and supervisor must differ")
+    rng = np.random.default_rng(seed)
+    store = dataset.store
+    supervisor_pc = dataset.profiles[supervisor].own_pc
+    labeled: List[date] = []
+
+    # Day 0: download the keylogger, stage it on a thumb drive.
+    ts = _work_hour_ts(rng, start)
+    store.append(HttpEvent(ts, admin, "download", "freeware-tools.example.net", filetype="exe"))
+    store.append(DeviceEvent(ts + timedelta(minutes=5), admin, "connect", dataset.profiles[admin].own_pc))
+    store.append(
+        FileEvent(ts + timedelta(minutes=6), admin, "write", "F-KEYLOGGER-EXE", to_location="local")
+    )
+    labeled.append(start)
+
+    # Day 1: plant it on the supervisor's machine.
+    plant_day = start + timedelta(days=1)
+    ts = _work_hour_ts(rng, plant_day)
+    store.append(DeviceEvent(ts, admin, "connect", supervisor_pc))
+    store.append(
+        FileEvent(ts + timedelta(minutes=2), admin, "copy", "F-KEYLOGGER-EXE",
+                  from_location="local", to_location="remote")
+    )
+    labeled.append(plant_day)
+
+    # Days 2-5: daily password collection via the drive, off hours.
+    day = plant_day + timedelta(days=1)
+    for _ in range(4):
+        tsd = _off_hour_ts(rng, day)
+        store.append(DeviceEvent(tsd, admin, "connect", supervisor_pc))
+        store.append(
+            FileEvent(tsd + timedelta(minutes=1), admin, "open", "F-KEYLOG-DUMP",
+                      from_location="remote")
+        )
+        labeled.append(day)
+        day += timedelta(days=1)
+
+    # Final day: log in as the supervisor, send the mass email.
+    final = day
+    ts = _off_hour_ts(rng, final)
+    store.append(LogonEvent(ts, supervisor, "logon", supervisor_pc))
+    for _ in range(int(rng.integers(15, 40))):
+        store.append(
+            EmailEvent(ts + timedelta(minutes=int(rng.integers(1, 30))), supervisor, "send",
+                       n_recipients=int(rng.integers(20, 120)), size_bytes=4000)
+        )
+    labeled.append(final)
+    store.sort()
+    injection = ScenarioInjection(
+        user=admin, scenario=3, start=start, end=final, labeled_days=tuple(sorted(set(labeled)))
+    )
+    dataset.injections.append(injection)
+    return injection
+
+
+def inject_scenario4(
+    dataset: CertDataset,
+    snooper: str,
+    target: str,
+    start: date,
+    duration_days: int = 10,
+    seed: Optional[int] = 404,
+) -> ScenarioInjection:
+    """Inject CERT Scenario 4: logging into another user's machine.
+
+    The snooper repeatedly logs into the target's machine, searches for
+    interesting files and mails them out (modelled as remote file opens
+    plus large outbound emails).
+    """
+    _require_user(dataset, snooper)
+    _require_user(dataset, target)
+    if snooper == target:
+        raise ValueError("snooper and target must differ")
+    rng = np.random.default_rng(seed)
+    store = dataset.store
+    target_pc = dataset.profiles[target].own_pc
+    labeled: List[date] = []
+    day = start
+    end = start + timedelta(days=duration_days - 1)
+    while day <= end:
+        if rng.random() < 0.7:
+            labeled.append(day)
+            ts = _work_hour_ts(rng, day)
+            store.append(LogonEvent(ts, snooper, "logon", target_pc))
+            for i in range(int(rng.integers(3, 10))):
+                store.append(
+                    FileEvent(ts + timedelta(minutes=2 + i), snooper, "open",
+                              f"F-{target}-{rng.integers(0, 40):03d}", from_location="remote")
+                )
+            store.append(
+                EmailEvent(ts + timedelta(minutes=20), snooper, "send",
+                           n_recipients=1, size_bytes=int(rng.integers(100_000, 2_000_000)),
+                           n_attachments=int(rng.integers(1, 6)))
+            )
+        day += timedelta(days=1)
+    store.sort()
+    injection = ScenarioInjection(
+        user=snooper, scenario=4, start=start, end=end, labeled_days=tuple(sorted(labeled))
+    )
+    dataset.injections.append(injection)
+    return injection
+
+
+def inject_scenario5(
+    dataset: CertDataset,
+    user: str,
+    start: date,
+    duration_days: int = 21,
+    seed: Optional[int] = 505,
+) -> ScenarioInjection:
+    """Inject CERT Scenario 5: the layoff survivor uploading to Dropbox.
+
+    A member of a decimated group uploads internal documents to a cloud
+    drive over several weeks, planning to use them for personal gain.
+    """
+    _require_user(dataset, user)
+    rng = np.random.default_rng(seed)
+    store = dataset.store
+    labeled: List[date] = []
+    day = start
+    end = start + timedelta(days=duration_days - 1)
+    doc_counter = 0
+    while day <= end:
+        if dataset.calendar.is_working_day(day) and rng.random() < 0.7:
+            labeled.append(day)
+            for _ in range(int(rng.integers(2, 7))):
+                doc_counter += 1
+                ts = _work_hour_ts(rng, day)
+                store.append(
+                    FileEvent(ts, user, "open", f"F-INTERNAL-{doc_counter:05d}",
+                              from_location="remote")
+                )
+                store.append(
+                    HttpEvent(ts + timedelta(minutes=3), user, "upload", "dropbox.com",
+                              filetype=str(rng.choice(["doc", "pdf", "zip"])))
+                )
+        day += timedelta(days=1)
+    store.sort()
+    injection = ScenarioInjection(
+        user=user, scenario=5, start=start, end=end, labeled_days=tuple(sorted(labeled))
+    )
+    dataset.injections.append(injection)
+    return injection

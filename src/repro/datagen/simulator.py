@@ -1,0 +1,372 @@
+"""CERT-style organizational log simulation.
+
+Generates device / file / HTTP / email / logon logs for every user of an
+:class:`~repro.datagen.org.Organization` over a
+:class:`~repro.datagen.calendar.SimulationCalendar`, following each
+user's :class:`~repro.datagen.profiles.UserProfile`.
+
+Three population-level effects from the paper are modelled explicitly:
+
+* **busy days** -- the first working day after a weekend/holiday carries
+  a burst of human-initiated events for *everyone* (Section III's
+  "working Mondays and make-up days" false-positive trap);
+* **environmental changes** -- on scheduled days a new shared service
+  appears (or an existing one has an outage), causing group-correlated
+  novel HTTP operations across most users (Section III's new-service /
+  service-outage example);
+* **working-hours vs off-hours** -- human-initiated activity concentrates
+  in the 06:00-18:00 frame while computer-initiated noise dominates off
+  hours and does not scale with the calendar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, time, timedelta
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import Organization
+from repro.datagen.profiles import UserProfile, sample_profiles
+from repro.logs.schema import (
+    DeviceEvent,
+    EmailEvent,
+    Event,
+    FileEvent,
+    HttpEvent,
+    LogonEvent,
+)
+from repro.logs.store import LogStore
+
+
+@dataclass(frozen=True)
+class EnvironmentalChange:
+    """A group-correlated event affecting most users of the organization.
+
+    ``new_service``: a domain nobody has visited before becomes popular
+    for ``duration_days`` (novel HTTP ops for most users).
+    ``outage``: a habitual shared service fails, producing bursts of
+    retry visits.
+    """
+
+    start: date
+    duration_days: int
+    kind: str  # "new_service" | "outage"
+    domain: str
+    participation: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("new_service", "outage"):
+            raise ValueError(f"unknown environmental change kind {self.kind!r}")
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if not 0.0 < self.participation <= 1.0:
+            raise ValueError("participation must be in (0, 1]")
+
+    def active_on(self, day: date) -> bool:
+        return self.start <= day < self.start + timedelta(days=self.duration_days)
+
+
+@dataclass
+class CertDataset:
+    """A simulated CERT-style dataset plus its ground truth."""
+
+    store: LogStore
+    organization: Organization
+    calendar: SimulationCalendar
+    profiles: Dict[str, UserProfile]
+    environmental_changes: List[EnvironmentalChange] = field(default_factory=list)
+    #: filled in by scenario injection (repro.datagen.scenarios)
+    injections: List["object"] = field(default_factory=list)
+
+    @property
+    def abnormal_users(self) -> List[str]:
+        return sorted({inj.user for inj in self.injections})
+
+    def labels(self) -> Dict[str, bool]:
+        """user id -> is-abnormal, for every simulated user."""
+        abnormal = set(self.abnormal_users)
+        return {u: (u in abnormal) for u in self.organization.user_ids()}
+
+
+class _UserDaySimulator:
+    """Generates one user's events for one day (internal helper)."""
+
+    def __init__(self, profile: UserProfile, rng: np.random.Generator):
+        self.profile = profile
+        self.rng = rng
+
+    # -- timestamp helpers -------------------------------------------------
+    def _work_ts(self, day: date) -> datetime:
+        """A working-hours timestamp biased toward 8-17h."""
+        hour = int(np.clip(self.rng.normal(12.0, 3.0), 6, 17))
+        return datetime.combine(day, time(hour, int(self.rng.integers(0, 60)), int(self.rng.integers(0, 60))))
+
+    def _off_ts(self, day: date) -> datetime:
+        """An off-hours timestamp (18:00-24:00 or 00:00-06:00)."""
+        hour = int(self.rng.choice([18, 19, 20, 21, 22, 23, 0, 1, 2, 3, 4, 5]))
+        return datetime.combine(day, time(hour, int(self.rng.integers(0, 60)), int(self.rng.integers(0, 60))))
+
+    #: Expected-count floor below which an activity simply does not
+    #: happen.  Habitual behaviour is regular: sub-threshold Poisson
+    #: rates would produce rare isolated events whose z-scores saturate
+    #: the deviation clamp, which is not how habits look in audit logs.
+    RATE_FLOOR = 0.3
+
+    def _counts(self, rate: float, factor: float) -> Tuple[int, int]:
+        """(working-hours, off-hours) Poisson counts for a human activity."""
+        lam_work = rate * factor
+        lam_off = lam_work * self.profile.off_hour_fraction
+        work = int(self.rng.poisson(lam_work)) if lam_work >= self.RATE_FLOOR else 0
+        off = int(self.rng.poisson(lam_off)) if lam_off >= self.RATE_FLOOR else 0
+        return work, off
+
+    def _floored_poisson(self, lam: float) -> int:
+        """Poisson draw with the RATE_FLOOR cut-off applied."""
+        return int(self.rng.poisson(lam)) if lam >= self.RATE_FLOOR else 0
+
+    # -- per-category generators --------------------------------------------
+    def logons(self, day: date, factor: float) -> List[Event]:
+        p = self.profile
+        events: List[Event] = []
+        n_work, n_off = self._counts(p.logon_rate, factor)
+        for _ in range(n_work):
+            events.append(LogonEvent(self._work_ts(day), p.user, "logon", p.own_pc))
+            events.append(LogonEvent(self._work_ts(day), p.user, "logoff", p.own_pc))
+        for _ in range(n_off):
+            events.append(LogonEvent(self._off_ts(day), p.user, "logon", p.own_pc))
+        return events
+
+    def devices(self, day: date, factor: float) -> List[Event]:
+        p = self.profile
+        if not p.device_user:
+            return []
+        events: List[Event] = []
+        n_work, n_off = self._counts(p.device_rate, factor)
+        hosts = p.habitual_hosts
+        for _ in range(n_work):
+            host = str(self.rng.choice(hosts))
+            ts = self._work_ts(day)
+            events.append(DeviceEvent(ts, p.user, "connect", host))
+            events.append(DeviceEvent(ts + timedelta(minutes=30), p.user, "disconnect", host))
+        for _ in range(n_off):
+            host = str(self.rng.choice(hosts))
+            events.append(DeviceEvent(self._off_ts(day), p.user, "connect", host))
+        return events
+
+    def files(self, day: date, factor: float, new_file_counter: List[int]) -> List[Event]:
+        p = self.profile
+        events: List[Event] = []
+        vocab = p.habitual_files
+
+        def location() -> str:
+            return "remote" if self.rng.random() < p.remote_fraction else "local"
+
+        for rate, activity in (
+            (p.file_open_rate, "open"),
+            (p.file_write_rate, "write"),
+            (p.file_copy_rate, "copy"),
+        ):
+            n_work, n_off = self._counts(rate, factor)
+            for i in range(n_work + n_off):
+                ts = self._work_ts(day) if i < n_work else self._off_ts(day)
+                file_id = str(self.rng.choice(vocab))
+                if activity == "open":
+                    events.append(FileEvent(ts, p.user, "open", file_id, from_location=location()))
+                elif activity == "write":
+                    events.append(FileEvent(ts, p.user, "write", file_id, to_location=location()))
+                else:
+                    src = location()
+                    dst = "local" if src == "remote" else "remote"
+                    events.append(
+                        FileEvent(ts, p.user, "copy", file_id, from_location=src, to_location=dst)
+                    )
+        # Legitimately novel files (new project documents etc.).
+        n_new = self._floored_poisson(p.new_file_rate * factor)
+        for _ in range(n_new):
+            new_file_counter[0] += 1
+            file_id = f"F-{p.user}-new-{new_file_counter[0]:05d}"
+            events.append(FileEvent(self._work_ts(day), p.user, "write", file_id, to_location="local"))
+        return events
+
+    def http(
+        self,
+        day: date,
+        factor: float,
+        new_domain_counter: List[int],
+        active_changes: Sequence[EnvironmentalChange],
+        participates: Dict[str, bool],
+    ) -> List[Event]:
+        p = self.profile
+        events: List[Event] = []
+        domains = p.habitual_domains
+        n_work, n_off = self._counts(p.http_visit_rate, factor)
+        for i in range(n_work + n_off):
+            ts = self._work_ts(day) if i < n_work else self._off_ts(day)
+            events.append(HttpEvent(ts, p.user, "visit", str(self.rng.choice(domains))))
+        n_dl = self._floored_poisson(p.http_download_rate * factor)
+        for _ in range(n_dl):
+            events.append(
+                HttpEvent(
+                    self._work_ts(day),
+                    p.user,
+                    "download",
+                    str(self.rng.choice(domains)),
+                    filetype=str(self.rng.choice(["pdf", "zip", "doc", "other"])),
+                )
+            )
+        # Habitual uploads (photo sites, shared reports, ...).
+        for filetype, rate in p.upload_rates.items():
+            n_up = self._floored_poisson(rate * factor)
+            for _ in range(n_up):
+                events.append(
+                    HttpEvent(
+                        self._work_ts(day),
+                        p.user,
+                        "upload",
+                        str(self.rng.choice(domains[:8])),
+                        filetype=filetype,
+                    )
+                )
+        # Legitimately novel domains.
+        n_new = self._floored_poisson(p.new_domain_rate * factor)
+        for _ in range(n_new):
+            new_domain_counter[0] += 1
+            domain = f"news-{p.user.lower()}-{new_domain_counter[0]:05d}.example.org"
+            events.append(HttpEvent(self._work_ts(day), p.user, "visit", domain))
+        # Environmental changes: group-correlated novel/burst traffic.
+        for change in active_changes:
+            if not participates.get(change.domain, False):
+                continue
+            if change.kind == "new_service":
+                n_hits = 1 + int(self.rng.poisson(3.0))
+                for _ in range(n_hits):
+                    events.append(HttpEvent(self._work_ts(day), p.user, "visit", change.domain))
+            else:  # outage: bursty retries against the (shared) domain
+                n_retries = int(self.rng.poisson(12.0))
+                for _ in range(n_retries):
+                    events.append(HttpEvent(self._work_ts(day), p.user, "visit", change.domain))
+        return events
+
+    def emails(self, day: date, factor: float) -> List[Event]:
+        p = self.profile
+        n_work, n_off = self._counts(p.email_send_rate, factor)
+        events: List[Event] = []
+        for i in range(n_work + n_off):
+            ts = self._work_ts(day) if i < n_work else self._off_ts(day)
+            events.append(
+                EmailEvent(
+                    ts,
+                    p.user,
+                    "send",
+                    n_recipients=int(self.rng.integers(1, 5)),
+                    size_bytes=int(self.rng.integers(500, 50_000)),
+                    n_attachments=int(self.rng.poisson(0.3)),
+                )
+            )
+        return events
+
+    def machine_noise(self, day: date) -> List[Event]:
+        """Computer-initiated off-hour activity; not scaled by calendar."""
+        p = self.profile
+        events: List[Event] = []
+        n = int(self.rng.poisson(p.machine_noise_rate))
+        for _ in range(n):
+            events.append(
+                HttpEvent(self._off_ts(day), p.user, "visit", "update.dtaa.com")
+            )
+        return events
+
+
+def default_environmental_changes(
+    calendar: SimulationCalendar,
+    rng: np.random.Generator,
+    every_n_days: int = 60,
+) -> List[EnvironmentalChange]:
+    """Schedule a new-service or outage change every ~``every_n_days``."""
+    changes: List[EnvironmentalChange] = []
+    days = calendar.working_days()
+    for i, day in enumerate(days):
+        if i > 0 and i % every_n_days == 0:
+            kind = "new_service" if rng.random() < 0.6 else "outage"
+            domain = (
+                f"newservice-{len(changes)}.dtaa.com"
+                if kind == "new_service"
+                else "intranet0.dtaa.com"
+            )
+            changes.append(
+                EnvironmentalChange(
+                    start=day,
+                    duration_days=int(rng.integers(2, 6)),
+                    kind=kind,
+                    domain=domain,
+                    participation=float(rng.uniform(0.6, 0.95)),
+                )
+            )
+    return changes
+
+
+def simulate_cert_dataset(
+    organization: Organization,
+    calendar: SimulationCalendar,
+    seed: Optional[int] = 0,
+    environmental_changes: Optional[List[EnvironmentalChange]] = None,
+    profiles: Optional[Dict[str, UserProfile]] = None,
+) -> CertDataset:
+    """Simulate the full organizational log set.
+
+    Args:
+        organization: who to simulate.
+        calendar: when to simulate.
+        seed: master seed; the per-user streams derive from it, so the
+            same seed reproduces the same dataset byte-for-byte.
+        environmental_changes: scheduled group-level changes; defaults to
+            one every ~60 working days.
+        profiles: optional pre-built profiles (by default sampled from
+            ``seed``).
+
+    Returns:
+        A :class:`CertDataset` with a populated, sorted log store.
+    """
+    master = np.random.default_rng(seed)
+    users = organization.user_ids()
+    if profiles is None:
+        profiles = sample_profiles(users, seed=None if seed is None else seed + 1)
+    missing = [u for u in users if u not in profiles]
+    if missing:
+        raise ValueError(f"profiles missing for users: {missing[:5]}")
+
+    if environmental_changes is None:
+        environmental_changes = default_environmental_changes(calendar, master)
+
+    store = LogStore()
+    days = calendar.days()
+    for user in users:
+        rng = np.random.default_rng(master.integers(0, 2**63))
+        sim = _UserDaySimulator(profiles[user], rng)
+        new_file_counter = [0]
+        new_domain_counter = [0]
+        # Whether this user participates in each environmental change.
+        participates = {
+            change.domain: bool(rng.random() < change.participation)
+            for change in environmental_changes
+        }
+        for day in days:
+            factor = calendar.activity_factor(day)
+            active = [c for c in environmental_changes if c.active_on(day)]
+            store.extend(sim.logons(day, factor))
+            store.extend(sim.devices(day, factor))
+            store.extend(sim.files(day, factor, new_file_counter))
+            store.extend(sim.http(day, factor, new_domain_counter, active, participates))
+            store.extend(sim.emails(day, factor))
+            store.extend(sim.machine_noise(day))
+    store.sort()
+    return CertDataset(
+        store=store,
+        organization=organization,
+        calendar=calendar,
+        profiles=profiles,
+        environmental_changes=list(environmental_changes),
+    )

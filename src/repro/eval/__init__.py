@@ -1,0 +1,23 @@
+"""Metrics, experiment harnesses and reporting for the paper's evaluation."""
+
+from repro.eval.metrics import (
+    CurvePoint,
+    auc,
+    average_precision,
+    f1_score,
+    fps_before_each_tp,
+    precision_recall_curve,
+    roc_curve,
+    worst_case_order,
+)
+
+__all__ = [
+    "CurvePoint",
+    "auc",
+    "average_precision",
+    "f1_score",
+    "fps_before_each_tp",
+    "precision_recall_curve",
+    "roc_curve",
+    "worst_case_order",
+]

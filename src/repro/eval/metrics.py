@@ -1,0 +1,176 @@
+"""Detection metrics over ordered investigation lists (Section V-C).
+
+The paper evaluates ranked user lists: analysts investigate from the
+top, so TP/FP/TN/FN counts are functions of the investigation budget.
+Both curves are computed over the *worst-case* ordering the paper uses:
+"if a FP and a TP has the same top N-th rank, the FP is listed before
+the TP".
+
+ROC: X = FP rate, Y = TP rate, area by trapezoid.  Precision-Recall:
+X = recall, Y = precision; the PR curve ignores TNs, which the paper
+stresses matters for such an imbalanced population (4 abnormal out of
+929).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One (x, y) point of a ROC or PR curve."""
+
+    x: float
+    y: float
+
+
+def worst_case_order(priorities: Mapping[str, int], labels: Mapping[str, bool]) -> List[str]:
+    """Users by ascending priority; FPs before TPs among equal priorities.
+
+    Args:
+        priorities: user -> investigation priority (smaller = earlier).
+        labels: user -> is-abnormal ground truth.
+    """
+    _check_population(priorities, labels)
+    # label False (normal) sorts before True at equal priority.
+    return sorted(priorities, key=lambda u: (priorities[u], bool(labels[u]), u))
+
+
+def _check_population(priorities: Mapping[str, int], labels: Mapping[str, bool]) -> None:
+    if not priorities:
+        raise ValueError("empty population")
+    if set(priorities) != set(labels):
+        raise ValueError("priorities and labels must cover the same users")
+
+
+def _ordered_labels(
+    priorities: Mapping[str, int], labels: Mapping[str, bool]
+) -> List[bool]:
+    return [bool(labels[u]) for u in worst_case_order(priorities, labels)]
+
+
+def roc_curve(
+    priorities: Mapping[str, int], labels: Mapping[str, bool]
+) -> List[CurvePoint]:
+    """ROC points (FP rate, TP rate) for every investigation prefix.
+
+    Starts at (0, 0) and ends at (1, 1); one point per investigated
+    user in worst-case order.
+    """
+    ordered = _ordered_labels(priorities, labels)
+    n_pos = sum(ordered)
+    n_neg = len(ordered) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs at least one positive and one negative")
+    points = [CurvePoint(0.0, 0.0)]
+    tp = fp = 0
+    for is_pos in ordered:
+        if is_pos:
+            tp += 1
+        else:
+            fp += 1
+        points.append(CurvePoint(fp / n_neg, tp / n_pos))
+    return points
+
+
+def auc(points: Sequence[CurvePoint]) -> float:
+    """Trapezoidal area under a curve of monotonically increasing x."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    area = 0.0
+    for a, b in zip(points, points[1:]):
+        if b.x < a.x:
+            raise ValueError("curve x values must be non-decreasing")
+        area += (b.x - a.x) * (a.y + b.y) / 2.0
+    return area
+
+
+def precision_recall_curve(
+    priorities: Mapping[str, int], labels: Mapping[str, bool]
+) -> List[CurvePoint]:
+    """PR points (recall, precision) at every prefix ending in a TP.
+
+    By convention the curve starts at (0, 1).
+    """
+    ordered = _ordered_labels(priorities, labels)
+    n_pos = sum(ordered)
+    if n_pos == 0:
+        raise ValueError("PR curve needs at least one positive")
+    points = [CurvePoint(0.0, 1.0)]
+    tp = 0
+    for k, is_pos in enumerate(ordered, start=1):
+        if is_pos:
+            tp += 1
+            points.append(CurvePoint(tp / n_pos, tp / k))
+    return points
+
+
+def average_precision(
+    priorities: Mapping[str, int], labels: Mapping[str, bool]
+) -> float:
+    """Mean of precision@rank over the positive users (AP)."""
+    ordered = _ordered_labels(priorities, labels)
+    n_pos = sum(ordered)
+    if n_pos == 0:
+        raise ValueError("average precision needs at least one positive")
+    tp = 0
+    total = 0.0
+    for k, is_pos in enumerate(ordered, start=1):
+        if is_pos:
+            tp += 1
+            total += tp / k
+    return total / n_pos
+
+
+def fps_before_each_tp(
+    priorities: Mapping[str, int], labels: Mapping[str, bool]
+) -> List[int]:
+    """Number of FPs listed before the 1st, 2nd, ... k-th TP.
+
+    This is the paper's in-prose comparison: ACOBE has [0, 0, 0, 1],
+    Baseline [1, 1, 17, 18], Base-FF [1, 1, 10, 10].
+    """
+    ordered = _ordered_labels(priorities, labels)
+    counts = []
+    fp = 0
+    for is_pos in ordered:
+        if is_pos:
+            counts.append(fp)
+        else:
+            fp += 1
+    return counts
+
+
+def confusion_at_budget(
+    priorities: Mapping[str, int], labels: Mapping[str, bool], budget: int
+) -> Dict[str, int]:
+    """TP/FP/TN/FN when the analyst investigates the top ``budget`` users."""
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    ordered = _ordered_labels(priorities, labels)
+    investigated = ordered[:budget]
+    rest = ordered[budget:]
+    tp = sum(investigated)
+    fp = len(investigated) - tp
+    fn = sum(rest)
+    tn = len(rest) - fn
+    return {"tp": tp, "fp": fp, "tn": tn, "fn": fn}
+
+
+def precision_recall_f1(confusion: Mapping[str, int]) -> Tuple[float, float, float]:
+    """(precision, recall, F1) from a confusion dict; 0 when undefined."""
+    tp, fp, fn = confusion["tp"], confusion["fp"], confusion["fn"]
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+def f1_score(
+    priorities: Mapping[str, int], labels: Mapping[str, bool], budget: int
+) -> float:
+    """F1 at a given investigation budget."""
+    _, _, f1 = precision_recall_f1(confusion_at_budget(priorities, labels, budget))
+    return f1

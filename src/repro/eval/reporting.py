@@ -1,0 +1,127 @@
+"""Plain-text reporting: tables, sparklines, heatmaps and curves.
+
+The benchmark harness has no plotting stack, so every figure of the
+paper is regenerated as text: deviation-matrix heatmaps (Figure 4),
+anomaly-score trend sparklines (Figures 5 and 7) and ROC/PR curve
+tables (Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width ASCII table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    n_cols = len(headers)
+    if any(len(row) != n_cols for row in cells):
+        raise ValueError("all rows must have the same number of columns")
+    widths = [max(len(row[i]) for row in cells) for i in range(n_cols)]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """A one-line unicode sparkline of a numeric series."""
+    values = np.asarray(list(series), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("empty series")
+    lo = float(values.min()) if lo is None else lo
+    hi = float(values.max()) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_CHARS[0] * values.size
+    scaled = (values - lo) / (hi - lo)
+    indices = np.clip((scaled * (len(_SPARK_CHARS) - 1)).round().astype(int), 0, len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Optional[Sequence[str]] = None,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """A character heatmap of a 2-D array (rows x days)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    lo = float(matrix.min()) if lo is None else lo
+    hi = float(matrix.max()) if hi is None else hi
+    span = hi - lo if hi > lo else 1.0
+    if row_labels is not None and len(row_labels) != matrix.shape[0]:
+        raise ValueError("row_labels length must match matrix rows")
+    label_width = max((len(l) for l in row_labels), default=0) if row_labels else 0
+    lines = []
+    for i, row in enumerate(matrix):
+        scaled = np.clip((row - lo) / span, 0.0, 1.0)
+        chars = "".join(
+            _HEAT_CHARS[min(int(v * (len(_HEAT_CHARS) - 1)), len(_HEAT_CHARS) - 1)] for v in scaled
+        )
+        label = (row_labels[i].rjust(label_width) + " |") if row_labels else "|"
+        lines.append(f"{label}{chars}|")
+    return "\n".join(lines)
+
+
+def curve_table(points, x_name: str = "x", y_name: str = "y", max_rows: int = 20) -> str:
+    """A ROC/PR curve as a two-column table (subsampled to max_rows)."""
+    points = list(points)
+    if not points:
+        raise ValueError("empty curve")
+    if len(points) > max_rows:
+        step = max(1, len(points) // max_rows)
+        sampled = points[::step]
+        if sampled[-1] != points[-1]:
+            sampled.append(points[-1])
+        points = sampled
+    rows = [(f"{p.x:.4f}", f"{p.y:.4f}") for p in points]
+    return format_table([x_name, y_name], rows)
+
+
+def trend_panel(
+    scores: np.ndarray,
+    users: Sequence[str],
+    highlight_user: str,
+    title: str = "",
+    max_background: int = 10,
+) -> str:
+    """Figure-5 style panel: one user's trend against the group's.
+
+    Shows the highlighted user's sparkline plus up to ``max_background``
+    other users, with mean/std computed over all data points as the
+    paper annotates each sub-figure.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[0] != len(users):
+        raise ValueError("scores must be (n_users, n_days) aligned with users")
+    if highlight_user not in users:
+        raise ValueError(f"unknown user {highlight_user!r}")
+    lo, hi = float(scores.min()), float(scores.max())
+    mean, std = float(scores.mean()), float(scores.std())
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"mean={mean:.6f} std={std:.6f}")
+    idx = list(users).index(highlight_user)
+    lines.append(f"{highlight_user} (abnormal) {sparkline(scores[idx], lo, hi)}")
+    shown = 0
+    for i, user in enumerate(users):
+        if i == idx:
+            continue
+        if shown >= max_background:
+            break
+        lines.append(f"{user:>18} {sparkline(scores[i], lo, hi)}")
+        shown += 1
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Behavioural feature extraction.
+
+Turns raw log stores into *measurement cubes*: per-user, per-feature,
+per-time-frame, per-day activity counts -- the ``m_{f,t,d}`` of the
+paper's deviation equations.
+
+* :mod:`repro.features.spec` -- feature/aspect declarations.
+* :mod:`repro.features.measurements` -- the MeasurementCube container.
+* :mod:`repro.features.cert` -- the 16 CERT features of Section V-A3
+  (device 2, file 7, HTTP 7) with first-time "new-op" novelty tracking,
+  plus the Liu-et-al. baseline's coarse-grained features.
+* :mod:`repro.features.enterprise` -- the 27 enterprise features of
+  Section VI-B across File/Command/Config/Resource/HTTP/Logon aspects.
+"""
+
+from repro.features.cert import (
+    CERT_ASPECTS,
+    extract_baseline_measurements,
+    extract_cert_measurements,
+)
+from repro.features.enterprise import ENTERPRISE_ASPECTS, extract_enterprise_measurements
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSpec
+
+__all__ = [
+    "AspectSpec",
+    "CERT_ASPECTS",
+    "ENTERPRISE_ASPECTS",
+    "FeatureSpec",
+    "MeasurementCube",
+    "extract_baseline_measurements",
+    "extract_cert_measurements",
+    "extract_enterprise_measurements",
+]

@@ -1,0 +1,128 @@
+"""The measurement cube: ``m_{f,t,d}`` for every user.
+
+A :class:`MeasurementCube` holds raw per-day activity counts in a dense
+array of shape ``(n_users, n_features, n_timeframes, n_days)``, plus the
+index maps back to user ids, feature specs, time-frames and dates.  The
+deviation machinery in :mod:`repro.core.deviation` operates on this
+array directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.features.spec import FeatureSet
+from repro.utils.timeutil import TimeFrame
+
+
+@dataclass
+class MeasurementCube:
+    """Dense per-user/feature/time-frame/day measurements."""
+
+    values: np.ndarray  # float64 (n_users, n_features, n_timeframes, n_days)
+    users: List[str]
+    feature_set: FeatureSet
+    timeframes: Sequence[TimeFrame]
+    days: List[date]
+
+    def __post_init__(self) -> None:
+        expected = (len(self.users), len(self.feature_set), len(self.timeframes), len(self.days))
+        if self.values.shape != expected:
+            raise ValueError(f"values shape {self.values.shape} != expected {expected}")
+        if len(set(self.users)) != len(self.users):
+            raise ValueError("duplicate users")
+        if list(self.days) != sorted(self.days):
+            raise ValueError("days must be sorted ascending")
+        if not np.isfinite(self.values).all():
+            raise ValueError("measurements contain NaN or infinite values")
+        self._user_index: Dict[str, int] = {u: i for i, u in enumerate(self.users)}
+        self._day_index: Dict[date, int] = {d: i for i, d in enumerate(self.days)}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_set)
+
+    @property
+    def n_timeframes(self) -> int:
+        return len(self.timeframes)
+
+    @property
+    def n_days(self) -> int:
+        return len(self.days)
+
+    def user_index(self, user: str) -> int:
+        try:
+            return self._user_index[user]
+        except KeyError:
+            raise KeyError(f"unknown user {user!r}") from None
+
+    def day_index(self, day: date) -> int:
+        try:
+            return self._day_index[day]
+        except KeyError:
+            raise KeyError(f"no measurements for day {day}") from None
+
+    def user_slice(self, user: str) -> np.ndarray:
+        """(n_features, n_timeframes, n_days) view for one user."""
+        return self.values[self.user_index(user)]
+
+    def feature_series(self, user: str, feature_name: str, timeframe_index: int) -> np.ndarray:
+        """The daily series of one feature in one time-frame for a user."""
+        f = self.feature_set.index_of(feature_name)
+        return self.values[self.user_index(user), f, timeframe_index]
+
+    def select_aspect(self, aspect_name: str) -> "MeasurementCube":
+        """A cube restricted to one aspect's features (copies the data)."""
+        indices = self.feature_set.aspect_indices(aspect_name)
+        sub_set = FeatureSet([self.feature_set.aspect(aspect_name)])
+        return MeasurementCube(
+            values=self.values[:, indices].copy(),
+            users=list(self.users),
+            feature_set=sub_set,
+            timeframes=self.timeframes,
+            days=list(self.days),
+        )
+
+    def group_mean(self, members: Sequence[str]) -> np.ndarray:
+        """Average measurements over a set of users: (F, T, D)."""
+        if not members:
+            raise ValueError("group must have at least one member")
+        idx = [self.user_index(u) for u in members]
+        return self.values[idx].mean(axis=0)
+
+
+def concat_cubes(cubes: Sequence[MeasurementCube]) -> MeasurementCube:
+    """Concatenate cubes along the feature axis (e.g. add a sequence aspect).
+
+    All cubes must share users, days and time-frames; aspect and feature
+    names must be disjoint across cubes.
+    """
+    if not cubes:
+        raise ValueError("need at least one cube")
+    if len(cubes) == 1:
+        return cubes[0]
+    first = cubes[0]
+    for other in cubes[1:]:
+        if other.users != first.users:
+            raise ValueError("cubes disagree on users")
+        if other.days != first.days:
+            raise ValueError("cubes disagree on days")
+        if tuple(other.timeframes) != tuple(first.timeframes):
+            raise ValueError("cubes disagree on time-frames")
+    aspects = [a for cube in cubes for a in cube.feature_set.aspects]
+    return MeasurementCube(
+        values=np.concatenate([cube.values for cube in cubes], axis=1),
+        users=list(first.users),
+        feature_set=FeatureSet(aspects),
+        timeframes=first.timeframes,
+        days=list(first.days),
+    )

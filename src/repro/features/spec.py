@@ -1,0 +1,96 @@
+"""Feature and behavioural-aspect declarations.
+
+A *feature* is one normalized characteristic of aggregated behaviour
+(e.g. number of thumb-drive connections in a time-frame on a day).  A
+*behavioural aspect* is a set of relevant features (Section IV-B): the
+ensemble trains one autoencoder per aspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One behavioural feature, tagged with its aspect."""
+
+    name: str
+    aspect: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("feature name must be non-empty")
+        if not self.aspect:
+            raise ValueError(f"feature {self.name!r} needs an aspect")
+
+
+@dataclass(frozen=True)
+class AspectSpec:
+    """A named set of features scored by one autoencoder."""
+
+    name: str
+    features: Tuple[FeatureSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValueError(f"aspect {self.name!r} has no features")
+        if any(f.aspect != self.name for f in self.features):
+            raise ValueError(f"aspect {self.name!r} contains foreign features")
+        names = [f.name for f in self.features]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate feature names in aspect {self.name!r}")
+
+    @property
+    def feature_names(self) -> List[str]:
+        return [f.name for f in self.features]
+
+
+class FeatureSet:
+    """An ordered collection of features across aspects, with index maps."""
+
+    def __init__(self, aspects: Sequence[AspectSpec]):
+        if not aspects:
+            raise ValueError("need at least one aspect")
+        names = [a.name for a in aspects]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate aspect names")
+        self.aspects: Tuple[AspectSpec, ...] = tuple(aspects)
+        self.features: Tuple[FeatureSpec, ...] = tuple(
+            f for aspect in aspects for f in aspect.features
+        )
+        all_names = [f.name for f in self.features]
+        if len(all_names) != len(set(all_names)):
+            raise ValueError("duplicate feature names across aspects")
+        self._index: Dict[str, int] = {f.name: i for i, f in enumerate(self.features)}
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @property
+    def feature_names(self) -> List[str]:
+        return [f.name for f in self.features]
+
+    @property
+    def aspect_names(self) -> List[str]:
+        return [a.name for a in self.aspects]
+
+    def index_of(self, feature_name: str) -> int:
+        """Global index of a feature."""
+        try:
+            return self._index[feature_name]
+        except KeyError:
+            raise KeyError(f"unknown feature {feature_name!r}") from None
+
+    def aspect(self, name: str) -> AspectSpec:
+        """Look up an aspect by name."""
+        for aspect in self.aspects:
+            if aspect.name == name:
+                return aspect
+        raise KeyError(f"unknown aspect {name!r}")
+
+    def aspect_indices(self, name: str) -> List[int]:
+        """Global feature indices belonging to one aspect."""
+        return [self.index_of(f) for f in self.aspect(name).feature_names]

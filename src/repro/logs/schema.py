@@ -1,0 +1,298 @@
+"""Typed log-event schemas.
+
+Two families of events are modelled:
+
+* **CERT-style organizational logs** (Section V of the paper): device
+  (thumb-drive) accesses, file accesses, HTTP accesses, email accesses,
+  logon/logoff events, plus LDAP user records.  Field names follow the
+  CERT Insider Threat Test Dataset release notes.
+* **Enterprise audit logs** (Section VI): Windows-Event auditing, Sysmon
+  operational events, PowerShell operational events, web-proxy logs and
+  DNS queries, as produced by the enterprise simulator for the botnet and
+  ransomware case studies.
+
+All events share the :class:`Event` base carrying ``timestamp`` and
+``user`` so stores and extractors can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from datetime import date, datetime
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base event: when it happened and which user it belongs to."""
+
+    timestamp: datetime
+    user: str
+
+    @property
+    def day(self) -> date:
+        return self.timestamp.date()
+
+    def __post_init__(self) -> None:
+        if not self.user:
+            raise ValueError("event user must be a non-empty string")
+
+
+# ---------------------------------------------------------------------------
+# CERT-style organizational logs (Section V)
+# ---------------------------------------------------------------------------
+
+DEVICE_ACTIVITIES = ("connect", "disconnect")
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceEvent(Event):
+    """Thumb-drive usage: a connect/disconnect on a specific host."""
+
+    activity: str = "connect"
+    host: str = ""
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.activity not in DEVICE_ACTIVITIES:
+            raise ValueError(f"unknown device activity {self.activity!r}")
+        if not self.host:
+            raise ValueError("device event requires a host")
+
+
+FILE_ACTIVITIES = ("open", "write", "copy", "delete")
+FILE_LOCATIONS = ("local", "remote")
+
+
+@dataclass(frozen=True, slots=True)
+class FileEvent(Event):
+    """A file operation with a data-flow direction.
+
+    ``from_location``/``to_location`` encode the paper's seven file
+    features: open-from-local/remote, write-to-local/remote and
+    copy-from-local-to-remote / copy-from-remote-to-local.  For ``open``,
+    only ``from_location`` is meaningful; for ``write``, only
+    ``to_location``.
+    """
+
+    activity: str = "open"
+    file_id: str = ""
+    from_location: Optional[str] = None
+    to_location: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.activity not in FILE_ACTIVITIES:
+            raise ValueError(f"unknown file activity {self.activity!r}")
+        if not self.file_id:
+            raise ValueError("file event requires a file_id")
+        for loc in (self.from_location, self.to_location):
+            if loc is not None and loc not in FILE_LOCATIONS:
+                raise ValueError(f"unknown file location {loc!r}")
+        if self.activity == "open" and self.from_location is None:
+            raise ValueError("open requires from_location")
+        if self.activity == "write" and self.to_location is None:
+            raise ValueError("write requires to_location")
+        if self.activity == "copy" and (self.from_location is None or self.to_location is None):
+            raise ValueError("copy requires both from_location and to_location")
+
+
+HTTP_ACTIVITIES = ("visit", "download", "upload")
+HTTP_FILETYPES = ("doc", "exe", "jpg", "pdf", "txt", "zip", "other")
+
+
+@dataclass(frozen=True, slots=True)
+class HttpEvent(Event):
+    """An HTTP action against a domain, optionally moving a file type."""
+
+    activity: str = "visit"
+    domain: str = ""
+    filetype: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.activity not in HTTP_ACTIVITIES:
+            raise ValueError(f"unknown http activity {self.activity!r}")
+        if not self.domain:
+            raise ValueError("http event requires a domain")
+        if self.activity in ("download", "upload") and self.filetype is None:
+            raise ValueError(f"{self.activity} requires a filetype")
+        if self.filetype is not None and self.filetype not in HTTP_FILETYPES:
+            raise ValueError(f"unknown filetype {self.filetype!r}")
+
+
+EMAIL_ACTIVITIES = ("send", "receive", "view")
+
+
+@dataclass(frozen=True, slots=True)
+class EmailEvent(Event):
+    """An email action (kept for schema completeness; not an ACOBE feature)."""
+
+    activity: str = "send"
+    n_recipients: int = 1
+    size_bytes: int = 0
+    n_attachments: int = 0
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.activity not in EMAIL_ACTIVITIES:
+            raise ValueError(f"unknown email activity {self.activity!r}")
+        if self.n_recipients < 0 or self.size_bytes < 0 or self.n_attachments < 0:
+            raise ValueError("email counters must be non-negative")
+
+
+LOGON_ACTIVITIES = ("logon", "logoff")
+
+
+@dataclass(frozen=True, slots=True)
+class LogonEvent(Event):
+    """An interactive logon or logoff on a PC."""
+
+    activity: str = "logon"
+    pc: str = ""
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.activity not in LOGON_ACTIVITIES:
+            raise ValueError(f"unknown logon activity {self.activity!r}")
+        if not self.pc:
+            raise ValueError("logon event requires a pc")
+
+
+@dataclass(frozen=True, slots=True)
+class UserRecord:
+    """An LDAP user record; ``department`` is the third-tier org unit."""
+
+    user: str
+    employee_name: str
+    org_path: Tuple[str, ...]  # e.g. ("Company", "Division 2", "Department 3")
+    role: str = "Employee"
+    is_privileged: bool = False
+    is_service_account: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.user:
+            raise ValueError("user id must be non-empty")
+        if len(self.org_path) < 3:
+            raise ValueError("org_path must have at least three tiers (company/division/department)")
+
+    @property
+    def department(self) -> str:
+        """The third-tier organizational unit, used as the user's group."""
+        return "/".join(self.org_path[:3])
+
+
+# ---------------------------------------------------------------------------
+# Enterprise audit logs (Section VI)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class WindowsEvent(Event):
+    """A Windows-Event-auditing record (security/system/application/setup)."""
+
+    event_id: int = 0
+    channel: str = "Security"
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.event_id <= 0:
+            raise ValueError(f"event_id must be positive, got {self.event_id}")
+
+
+@dataclass(frozen=True, slots=True)
+class SysmonEvent(Event):
+    """A System-Monitor (Sysmon) operational record."""
+
+    event_id: int = 0
+    image: str = ""  # process image path
+    target: str = ""  # file path / registry key / remote target
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.event_id <= 0:
+            raise ValueError(f"event_id must be positive, got {self.event_id}")
+
+
+@dataclass(frozen=True, slots=True)
+class PowerShellEvent(Event):
+    """A PowerShell operational record (script block / pipeline execution)."""
+
+    event_id: int = 4104
+    script: str = ""
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if self.event_id <= 0:
+            raise ValueError(f"event_id must be positive, got {self.event_id}")
+
+
+PROXY_VERDICTS = ("success", "failure", "blocked")
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyEvent(Event):
+    """A web-proxy record with the proxy's security verdict."""
+
+    domain: str = ""
+    resource: str = "/"
+    verdict: str = "success"
+    bytes_out: int = 0
+    bytes_in: int = 0
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if not self.domain:
+            raise ValueError("proxy event requires a domain")
+        if self.verdict not in PROXY_VERDICTS:
+            raise ValueError(f"unknown proxy verdict {self.verdict!r}")
+        if self.bytes_out < 0 or self.bytes_in < 0:
+            raise ValueError("byte counters must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class DnsEvent(Event):
+    """A DNS query and whether it resolved (NXDOMAIN -> success=False)."""
+
+    domain: str = ""
+    resolved: bool = True
+
+    def __post_init__(self) -> None:
+        Event.__post_init__(self)
+        if not self.domain:
+            raise ValueError("dns event requires a domain")
+
+
+#: Every concrete event class, keyed by the short name used in stores/CSV.
+EVENT_TYPES = {
+    "device": DeviceEvent,
+    "file": FileEvent,
+    "http": HttpEvent,
+    "email": EmailEvent,
+    "logon": LogonEvent,
+    "windows": WindowsEvent,
+    "sysmon": SysmonEvent,
+    "powershell": PowerShellEvent,
+    "proxy": ProxyEvent,
+    "dns": DnsEvent,
+}
+
+
+def event_type_name(event: Event) -> str:
+    """The short type name ('device', 'file', ...) of a concrete event."""
+    for name, cls in EVENT_TYPES.items():
+        if type(event) is cls:
+            return name
+    raise TypeError(f"unregistered event class {type(event).__name__}")
+
+
+def event_to_row(event: Event) -> dict:
+    """Flatten an event to a CSV-serializable dict (see csvio)."""
+    row = {"type": event_type_name(event)}
+    for f in fields(event):
+        value = getattr(event, f.name)
+        if isinstance(value, datetime):
+            value = value.isoformat()
+        row[f.name] = value
+    return row

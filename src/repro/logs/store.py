@@ -1,0 +1,113 @@
+"""In-memory log store with per-user / per-day / per-type indexing.
+
+The simulators append events as they generate them; feature extractors
+then query by ``(user, type)`` or ``(user, type, day)``.  Events are kept
+in insertion order per bucket, and :meth:`LogStore.sort` makes each
+bucket chronological (the simulators generate days in order, so this is
+cheap).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from datetime import date
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.logs.schema import Event, event_type_name
+
+
+class LogStore:
+    """Container for heterogeneous audit-log events.
+
+    Example:
+        >>> from datetime import datetime
+        >>> from repro.logs.schema import LogonEvent
+        >>> store = LogStore()
+        >>> store.append(LogonEvent(datetime(2010, 1, 4, 9), "ABC0001", "logon", "PC-1"))
+        >>> store.count()
+        1
+    """
+
+    def __init__(self) -> None:
+        self._by_user_type: Dict[Tuple[str, str], List[Event]] = defaultdict(list)
+        self._by_user_type_day: Dict[Tuple[str, str, date], List[Event]] = defaultdict(list)
+        self._users: Set[str] = set()
+        self._days: Set[date] = set()
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> None:
+        """Add one event."""
+        type_name = event_type_name(event)
+        self._by_user_type[(event.user, type_name)].append(event)
+        self._by_user_type_day[(event.user, type_name, event.day)].append(event)
+        self._users.add(event.user)
+        self._days.add(event.day)
+        self._count += 1
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Add many events."""
+        for event in events:
+            self.append(event)
+
+    def merge(self, other: "LogStore") -> None:
+        """Append every event of ``other`` into this store."""
+        for event in other.iter_events():
+            self.append(event)
+
+    def sort(self) -> None:
+        """Make every bucket chronological (stable on equal timestamps)."""
+        for bucket in self._by_user_type.values():
+            bucket.sort(key=lambda e: e.timestamp)
+        for bucket in self._by_user_type_day.values():
+            bucket.sort(key=lambda e: e.timestamp)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def users(self) -> List[str]:
+        """Sorted list of user ids that have at least one event."""
+        return sorted(self._users)
+
+    def days(self) -> List[date]:
+        """Sorted list of days with at least one event."""
+        return sorted(self._days)
+
+    def count(self) -> int:
+        """Total number of stored events."""
+        return self._count
+
+    def events(
+        self,
+        user: str,
+        type_name: str,
+        day: Optional[date] = None,
+    ) -> Sequence[Event]:
+        """Events of one user and log type, optionally restricted to a day."""
+        if day is None:
+            return self._by_user_type.get((user, type_name), [])
+        return self._by_user_type_day.get((user, type_name, day), [])
+
+    def iter_events(self) -> Iterator[Event]:
+        """Iterate over every stored event (grouped by user/type buckets)."""
+        for bucket in self._by_user_type.values():
+            yield from bucket
+
+    def type_names(self) -> List[str]:
+        """Sorted list of event type names present in the store."""
+        return sorted({type_name for (_, type_name) in self._by_user_type})
+
+    def count_by_type(self) -> Dict[str, int]:
+        """Number of events per log type."""
+        counts: Dict[str, int] = defaultdict(int)
+        for (_, type_name), bucket in self._by_user_type.items():
+            counts[type_name] += len(bucket)
+        return dict(counts)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogStore(events={self._count}, users={len(self._users)}, days={len(self._days)})"

@@ -1,0 +1,59 @@
+"""From-scratch neural-network substrate used by ACOBE's autoencoders.
+
+The paper implements its models with TensorFlow 2.0 Keras (``Dense`` layers
+activated by ReLU, ``BatchNormalization`` between layers, the Adadelta
+optimizer, and an MSE loss).  TensorFlow is not available in this
+environment, so this subpackage provides the equivalent building blocks on
+top of numpy with hand-written, gradient-checked backpropagation:
+
+* :mod:`repro.nn.initializers` -- Glorot/He/zero initialization schemes.
+* :mod:`repro.nn.layers` -- ``Dense``, ``BatchNormalization``, activations
+  and ``Dropout`` layers with ``forward``/``backward`` passes.
+* :mod:`repro.nn.losses` -- mean-squared-error and mean-absolute-error.
+* :mod:`repro.nn.optimizers` -- SGD, Momentum, RMSProp, Adadelta and Adam.
+* :mod:`repro.nn.network` -- a ``Sequential`` container with a mini-batch
+  training loop (shuffling, validation split, early stopping).
+* :mod:`repro.nn.autoencoder` -- the deep fully-connected autoencoder used
+  throughout the paper (encoder 512/256/128/64, mirrored decoder).
+* :mod:`repro.nn.gradcheck` -- finite-difference gradient checking used by
+  the test-suite to validate every layer's backward pass.
+"""
+
+from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+from repro.nn.layers import (
+    BatchNormalization,
+    Dense,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import Loss, MeanAbsoluteError, MeanSquaredError
+from repro.nn.network import Sequential, TrainingHistory
+from repro.nn.optimizers import SGD, Adadelta, Adam, Momentum, Optimizer, RMSProp
+
+__all__ = [
+    "Adadelta",
+    "Adam",
+    "Autoencoder",
+    "AutoencoderConfig",
+    "BatchNormalization",
+    "Dense",
+    "Dropout",
+    "LeakyReLU",
+    "Linear",
+    "Loss",
+    "MeanAbsoluteError",
+    "MeanSquaredError",
+    "Momentum",
+    "Optimizer",
+    "ReLU",
+    "RMSProp",
+    "Sequential",
+    "SGD",
+    "Sigmoid",
+    "Tanh",
+    "TrainingHistory",
+]

@@ -1,0 +1,71 @@
+"""Weight-initialization schemes for dense layers.
+
+Keras initializes ``Dense`` kernels with Glorot-uniform by default; the
+same scheme is the default here so that the reproduction matches the
+paper's TensorFlow implementation as closely as practical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+InitializerFn = Callable[[Tuple[int, int], np.random.Generator], np.ndarray]
+
+
+def glorot_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = shape
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, 2/(fan_in+fan_out))."""
+    fan_in, fan_out = shape
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """He uniform, appropriate for ReLU networks: U with limit sqrt(6/fan_in)."""
+    fan_in, _ = shape
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, 2/fan_in)."""
+    fan_in, _ = shape
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (used for biases)."""
+    del rng
+    return np.zeros(shape)
+
+
+_INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str) -> InitializerFn:
+    """Look up an initializer by name.
+
+    Raises:
+        ValueError: if ``name`` is not a known initializer.
+    """
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_INITIALIZERS))
+        raise ValueError(f"unknown initializer {name!r}; expected one of: {known}") from None

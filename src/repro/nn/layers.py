@@ -1,0 +1,357 @@
+"""Layers with explicit forward/backward passes.
+
+Every layer follows the same contract:
+
+* ``forward(x, training)`` consumes a batch ``(n, d_in)`` and returns
+  ``(n, d_out)``, caching whatever the backward pass needs.
+* ``backward(grad_out)`` consumes ``dL/d(output)`` and returns
+  ``dL/d(input)``, storing parameter gradients on each
+  :class:`Parameter`'s ``grad`` attribute.
+* ``parameters()`` yields the layer's trainable :class:`Parameter`s.
+
+Gradients are *overwritten* (not accumulated) on each backward call, which
+matches how the :class:`repro.nn.network.Sequential` training loop uses
+them: one backward per mini-batch followed immediately by an optimizer
+step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+
+
+class Parameter:
+    """A trainable tensor together with its current gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers."""
+
+    #: set by Sequential.build(); layers that need no build keep it True
+    built = True
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+        """Allocate parameters for ``input_dim`` inputs; return output dim."""
+        del rng
+        return input_dim
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> Iterable[Parameter]:
+        return ()
+
+    def cast(self, dtype: np.dtype) -> None:
+        """Convert trainable state to ``dtype`` (float32/float64)."""
+        for p in self.parameters():
+            p.value = p.value.astype(dtype)
+            p.grad = p.grad.astype(dtype)
+
+    # State dictionaries are used by repro.nn.serialization.
+    def state_dict(self) -> dict:
+        return {p.name: p.value.copy() for p in self.parameters()}
+
+    def load_state_dict(self, state: dict) -> None:
+        for p in self.parameters():
+            if p.name not in state:
+                raise KeyError(f"missing parameter {p.name!r} in state dict")
+            loaded = np.asarray(state[p.name], dtype=p.value.dtype)
+            if loaded.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {p.name!r}: "
+                    f"expected {p.value.shape}, got {loaded.shape}"
+                )
+            p.value = loaded
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W + b``.
+
+    Mirrors ``tensorflow.keras.layers.Dense`` (without fused activation;
+    activations are separate layers here, which is mathematically
+    identical and keeps backward passes simple).
+    """
+
+    built = False
+
+    def __init__(
+        self,
+        units: int,
+        kernel_initializer: str = "glorot_uniform",
+        bias_initializer: str = "zeros",
+        use_bias: bool = True,
+    ):
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = units
+        self._kernel_init = get_initializer(kernel_initializer)
+        self._bias_init = get_initializer(bias_initializer)
+        self.use_bias = use_bias
+        self.weight: Optional[Parameter] = None
+        self.bias: Optional[Parameter] = None
+        self._x: Optional[np.ndarray] = None
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+        self.weight = Parameter("weight", self._kernel_init((input_dim, self.units), rng))
+        if self.use_bias:
+            self.bias = Parameter("bias", self._bias_init((1, self.units), rng).reshape(self.units))
+        self.built = True
+        return self.units
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if not self.built:
+            raise RuntimeError("Dense layer used before build()")
+        self._x = x
+        out = x @ self.weight.value
+        if self.use_bias:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() called before forward()")
+        self.weight.grad = self._x.T @ grad_out
+        if self.use_bias:
+            self.bias.grad = grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> Iterable[Parameter]:
+        if not self.built:
+            return ()
+        params: List[Parameter] = [self.weight]
+        if self.use_bias:
+            params.append(self.bias)
+        return params
+
+
+class BatchNormalization(Layer):
+    """Batch normalization (Ioffe & Szegedy 2015).
+
+    Normalizes each feature over the batch during training and tracks
+    exponential moving averages of mean/variance for inference, exactly
+    like ``tensorflow.keras.layers.BatchNormalization`` with default
+    momentum.
+    """
+
+    built = False
+
+    def __init__(self, momentum: float = 0.99, epsilon: float = 1e-3):
+        if not 0.0 < momentum < 1.0:
+            raise ValueError(f"momentum must be in (0, 1), got {momentum}")
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.gamma: Optional[Parameter] = None
+        self.beta: Optional[Parameter] = None
+        self.running_mean: Optional[np.ndarray] = None
+        self.running_var: Optional[np.ndarray] = None
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+        del rng
+        self.gamma = Parameter("gamma", np.ones(input_dim))
+        self.beta = Parameter("beta", np.zeros(input_dim))
+        self.running_mean = np.zeros(input_dim)
+        self.running_var = np.ones(input_dim)
+        self.built = True
+        return input_dim
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not self.built:
+            raise RuntimeError("BatchNormalization layer used before build()")
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, np.asarray(training))
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        x_hat, inv_std, was_training = self._cache
+        n = grad_out.shape[0]
+        self.gamma.grad = (grad_out * x_hat).sum(axis=0)
+        self.beta.grad = grad_out.sum(axis=0)
+        grad_xhat = grad_out * self.gamma.value
+        if not bool(was_training):
+            # Inference statistics are constants w.r.t. the input.
+            return grad_xhat * inv_std
+        # Full batch-norm backward: mean and variance depend on the batch.
+        return (
+            inv_std
+            / n
+            * (n * grad_xhat - grad_xhat.sum(axis=0) - x_hat * (grad_xhat * x_hat).sum(axis=0))
+        )
+
+    def parameters(self) -> Iterable[Parameter]:
+        if not self.built:
+            return ()
+        return (self.gamma, self.beta)
+
+    def cast(self, dtype: np.dtype) -> None:
+        super().cast(dtype)
+        self.running_mean = self.running_mean.astype(dtype)
+        self.running_var = self.running_var.astype(dtype)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["running_mean"] = self.running_mean.copy()
+        state["running_var"] = self.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.running_mean = np.asarray(state["running_mean"], dtype=self.running_mean.dtype)
+        self.running_var = np.asarray(state["running_var"], dtype=self.running_var.dtype)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, alpha: float = 0.01):
+        self.alpha = alpha
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_out * np.where(self._mask, 1.0, self.alpha)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid; used as the reconstruction head for [0, 1] inputs."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        # Numerically stable piecewise formulation.
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Linear(Layer):
+    """Identity activation (useful as an explicit 'no-op' head)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class Dropout(Layer):
+    """Inverted dropout; a no-op at inference time."""
+
+    def __init__(self, rate: float, seed: Optional[int] = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = ((self._rng.random(x.shape) < keep) / keep).astype(x.dtype)
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "linear": Linear,
+}
+
+
+def get_activation(name: str) -> Layer:
+    """Instantiate an activation layer by name."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_ACTIVATIONS))
+        raise ValueError(f"unknown activation {name!r}; expected one of: {known}") from None

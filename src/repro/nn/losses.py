@@ -1,0 +1,75 @@
+"""Loss functions.
+
+The paper trains every autoencoder by minimizing mean-squared-error; MAE
+is provided as an alternative for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Loss:
+    """Base class: ``value`` returns the scalar loss, ``gradient`` dL/dy_pred."""
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+        if y_true.shape != y_pred.shape:
+            raise ValueError(f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}")
+
+
+class MeanSquaredError(Loss):
+    """MSE = mean over all elements of (y - y_hat)^2."""
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        self._check(y_true, y_pred)
+        return float(np.mean((y_true - y_pred) ** 2))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        self._check(y_true, y_pred)
+        return 2.0 * (y_pred - y_true) / y_true.size
+
+    @staticmethod
+    def per_sample(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        """Per-row MSE, used as the anomaly (reconstruction-error) score."""
+        Loss._check(y_true, y_pred)
+        return np.mean((y_true - y_pred) ** 2, axis=1)
+
+
+class MeanAbsoluteError(Loss):
+    """MAE = mean over all elements of |y - y_hat|."""
+
+    def value(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        self._check(y_true, y_pred)
+        return float(np.mean(np.abs(y_true - y_pred)))
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        self._check(y_true, y_pred)
+        return np.sign(y_pred - y_true) / y_true.size
+
+    @staticmethod
+    def per_sample(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        """Per-row MAE."""
+        Loss._check(y_true, y_pred)
+        return np.mean(np.abs(y_true - y_pred), axis=1)
+
+
+_LOSSES = {
+    "mse": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+}
+
+
+def get_loss(name: str) -> Loss:
+    """Instantiate a loss by name ('mse' or 'mae')."""
+    try:
+        return _LOSSES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_LOSSES))
+        raise ValueError(f"unknown loss {name!r}; expected one of: {known}") from None

@@ -1,0 +1,231 @@
+"""A Sequential container with a Keras-like mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+from repro.nn.losses import Loss, get_loss
+from repro.nn.optimizers import Optimizer, get_optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves produced by :meth:`Sequential.fit`."""
+
+    loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+
+    @property
+    def epochs_trained(self) -> int:
+        return len(self.loss)
+
+    @property
+    def best_val_loss(self) -> Optional[float]:
+        return min(self.val_loss) if self.val_loss else None
+
+
+class Sequential:
+    """A stack of layers trained with backprop.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.nn.layers import Dense, ReLU
+        >>> net = Sequential([Dense(4), ReLU(), Dense(2)], seed=0)
+        >>> net.build(input_dim=2)
+        >>> y = net.predict(np.zeros((3, 2)))
+        >>> y.shape
+        (3, 2)
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        seed: Optional[int] = None,
+        dtype: Union[str, np.dtype] = np.float64,
+    ):
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self._rng = np.random.default_rng(seed)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {self.dtype}")
+        self.input_dim: Optional[int] = None
+        self.output_dim: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, input_dim: int) -> "Sequential":
+        """Allocate every layer's parameters for the given input width."""
+        if input_dim <= 0:
+            raise ValueError(f"input_dim must be positive, got {input_dim}")
+        dim = input_dim
+        for layer in self.layers:
+            dim = layer.build(dim, self._rng)
+            layer.cast(self.dtype)
+        self.input_dim = input_dim
+        self.output_dim = dim
+        return self
+
+    @property
+    def built(self) -> bool:
+        return self.input_dim is not None
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters in layer order."""
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.value.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full stack; ``training`` toggles BatchNorm/Dropout mode."""
+        x = np.asarray(x, dtype=self.dtype)
+        if x.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got shape {x.shape}")
+        if self.built and x.shape[1] != self.input_dim:
+            raise ValueError(f"expected input dim {self.input_dim}, got {x.shape[1]}")
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate dL/d(output); returns dL/d(input)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """Inference-mode forward pass in batches."""
+        x = np.asarray(x, dtype=self.dtype)
+        if x.shape[0] <= batch_size:
+            return self.forward(x, training=False)
+        chunks = [
+            self.forward(x[i : i + batch_size], training=False)
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        epochs: int = 10,
+        batch_size: int = 32,
+        loss: Union[str, Loss] = "mse",
+        optimizer: Union[str, Optimizer] = "adadelta",
+        validation_split: float = 0.0,
+        shuffle: bool = True,
+        early_stopping_patience: Optional[int] = None,
+        min_delta: float = 0.0,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train with mini-batch gradient descent.
+
+        Args:
+            x: training inputs, shape ``(n, input_dim)``.
+            y: targets; defaults to ``x`` (autoencoder reconstruction).
+            epochs: maximum number of passes over the data.
+            batch_size: mini-batch size.
+            loss: loss name or instance (default MSE, as in the paper).
+            optimizer: optimizer name or instance (default Adadelta).
+            validation_split: trailing fraction of the (shuffled) data held
+                out for validation loss / early stopping.
+            shuffle: reshuffle training rows every epoch.
+            early_stopping_patience: stop after this many epochs without
+                ``min_delta`` improvement in the monitored loss
+                (validation loss when a split is used, else training loss).
+            verbose: print one line per epoch.
+
+        Returns:
+            A :class:`TrainingHistory` with per-epoch losses.
+        """
+        x = np.asarray(x, dtype=self.dtype)
+        y = x if y is None else np.asarray(y, dtype=self.dtype)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"x and y row counts differ: {x.shape[0]} vs {y.shape[0]}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not 0.0 <= validation_split < 1.0:
+            raise ValueError(f"validation_split must be in [0, 1), got {validation_split}")
+        if not self.built:
+            self.build(x.shape[1])
+
+        loss_fn = get_loss(loss) if isinstance(loss, str) else loss
+        opt = get_optimizer(optimizer) if isinstance(optimizer, str) else optimizer
+
+        n_val = int(round(x.shape[0] * validation_split))
+        if n_val > 0:
+            perm = self._rng.permutation(x.shape[0])
+            x, y = x[perm], y[perm]
+            x_val, y_val = x[-n_val:], y[-n_val:]
+            x_train, y_train = x[:-n_val], y[:-n_val]
+            if x_train.shape[0] == 0:
+                raise ValueError("validation_split leaves no training data")
+        else:
+            x_val = y_val = None
+            x_train, y_train = x, y
+
+        history = TrainingHistory()
+        params = self.parameters()
+        best_monitor = np.inf
+        stale_epochs = 0
+        n = x_train.shape[0]
+
+        for epoch in range(epochs):
+            order = self._rng.permutation(n) if shuffle else np.arange(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x_train[idx], y_train[idx]
+                pred = self.forward(xb, training=True)
+                epoch_loss += loss_fn.value(yb, pred) * len(idx)
+                self.backward(loss_fn.gradient(yb, pred))
+                opt.step(params)
+            epoch_loss /= n
+            history.loss.append(epoch_loss)
+
+            if x_val is not None:
+                val_pred = self.predict(x_val)
+                val_loss = loss_fn.value(y_val, val_pred)
+                history.val_loss.append(val_loss)
+                monitor = val_loss
+            else:
+                monitor = epoch_loss
+
+            if verbose:  # pragma: no cover - console output
+                msg = f"epoch {epoch + 1}/{epochs} loss={epoch_loss:.6f}"
+                if x_val is not None:
+                    msg += f" val_loss={history.val_loss[-1]:.6f}"
+                print(msg)
+
+            if early_stopping_patience is not None:
+                if monitor < best_monitor - min_delta:
+                    best_monitor = monitor
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= early_stopping_patience:
+                        break
+        return history
+
+    def evaluate(self, x: np.ndarray, y: Optional[np.ndarray] = None, loss: Union[str, Loss] = "mse") -> float:
+        """Inference-mode loss over a dataset."""
+        y = np.asarray(x, dtype=np.float64) if y is None else np.asarray(y, dtype=np.float64)
+        loss_fn = get_loss(loss) if isinstance(loss, str) else loss
+        return loss_fn.value(y, self.predict(x))

@@ -1,0 +1,156 @@
+"""First-order optimizers.
+
+The paper trains with Adadelta (Zeiler 2012); the others are provided for
+ablations and tests.  Each optimizer keeps per-parameter state keyed by
+``id(parameter)``, so the same optimizer instance must be used with a
+fixed set of parameters for the whole training run (which is what
+:class:`repro.nn.network.Sequential` does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base class; subclasses implement ``_update_one``."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self._state: Dict[int, dict] = {}
+        self.iterations = 0
+
+    def step(self, parameters: Iterable[Parameter]) -> None:
+        """Apply one update to every parameter using its current ``grad``."""
+        self.iterations += 1
+        for param in parameters:
+            state = self._state.setdefault(id(param), {})
+            self._update_one(param, state)
+
+    def _update_one(self, param: Parameter, state: dict) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.01):
+        super().__init__(learning_rate)
+
+    def _update_one(self, param: Parameter, state: dict) -> None:
+        del state
+        param.value -= self.learning_rate * param.grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+
+    def _update_one(self, param: Parameter, state: dict) -> None:
+        velocity = state.setdefault("velocity", np.zeros_like(param.value))
+        velocity *= self.momentum
+        velocity -= self.learning_rate * param.grad
+        param.value += velocity
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton)."""
+
+    def __init__(self, learning_rate: float = 0.001, rho: float = 0.9, epsilon: float = 1e-7):
+        super().__init__(learning_rate)
+        self.rho = rho
+        self.epsilon = epsilon
+
+    def _update_one(self, param: Parameter, state: dict) -> None:
+        acc = state.setdefault("acc", np.zeros_like(param.value))
+        acc *= self.rho
+        acc += (1.0 - self.rho) * param.grad**2
+        param.value -= self.learning_rate * param.grad / (np.sqrt(acc) + self.epsilon)
+
+
+class Adadelta(Optimizer):
+    """Adadelta (Zeiler 2012), the optimizer used in the paper.
+
+    Maintains exponential moving averages of squared gradients and squared
+    updates; the effective step size adapts per dimension without a
+    manually tuned global learning rate.  ``learning_rate`` defaults to
+    1.0, matching Zeiler's formulation (Keras' 0.001 default is a known
+    footgun that effectively freezes training).
+    """
+
+    def __init__(self, learning_rate: float = 1.0, rho: float = 0.95, epsilon: float = 1e-6):
+        super().__init__(learning_rate)
+        if not 0.0 < rho < 1.0:
+            raise ValueError(f"rho must be in (0, 1), got {rho}")
+        self.rho = rho
+        self.epsilon = epsilon
+
+    def _update_one(self, param: Parameter, state: dict) -> None:
+        acc_grad = state.setdefault("acc_grad", np.zeros_like(param.value))
+        acc_delta = state.setdefault("acc_delta", np.zeros_like(param.value))
+        acc_grad *= self.rho
+        acc_grad += (1.0 - self.rho) * param.grad**2
+        update = (
+            np.sqrt(acc_delta + self.epsilon) / np.sqrt(acc_grad + self.epsilon) * param.grad
+        )
+        acc_delta *= self.rho
+        acc_delta += (1.0 - self.rho) * update**2
+        param.value -= self.learning_rate * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+
+    def _update_one(self, param: Parameter, state: dict) -> None:
+        m = state.setdefault("m", np.zeros_like(param.value))
+        v = state.setdefault("v", np.zeros_like(param.value))
+        t = state["t"] = state.get("t", 0) + 1
+        m *= self.beta1
+        m += (1.0 - self.beta1) * param.grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * param.grad**2
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "momentum": Momentum,
+    "rmsprop": RMSProp,
+    "adadelta": Adadelta,
+    "adam": Adam,
+}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name with optional hyper-parameters."""
+    try:
+        cls = _OPTIMIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_OPTIMIZERS))
+        raise ValueError(f"unknown optimizer {name!r}; expected one of: {known}") from None
+    return cls(**kwargs)

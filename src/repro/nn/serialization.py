@@ -1,0 +1,69 @@
+"""Save/load trained networks to ``.npz`` archives.
+
+The archive stores every layer's ``state_dict`` flattened under
+``layer{i}/{param}`` keys plus a small JSON header describing the stack,
+so a model trained once (e.g. for a long benchmark) can be reloaded
+without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+_HEADER_KEY = "__header__"
+
+
+def save_network(network: Sequential, path: Union[str, Path]) -> None:
+    """Serialize a built network's parameters and stats to ``path``."""
+    if not network.built:
+        raise ValueError("cannot save an un-built network")
+    arrays = {}
+    header = {
+        "input_dim": network.input_dim,
+        "output_dim": network.output_dim,
+        "layers": [type(layer).__name__ for layer in network.layers],
+    }
+    for i, layer in enumerate(network.layers):
+        for name, value in layer.state_dict().items():
+            arrays[f"layer{i}/{name}"] = value
+    arrays[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez(str(path), **arrays)
+
+
+def load_network(network: Sequential, path: Union[str, Path]) -> Sequential:
+    """Load parameters saved by :func:`save_network` into ``network``.
+
+    The target network must already be built with a matching architecture;
+    mismatches raise ``ValueError``.
+    """
+    if not network.built:
+        raise ValueError("build the network before loading parameters into it")
+    with np.load(str(path)) as archive:
+        header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
+        expected_layers = [type(layer).__name__ for layer in network.layers]
+        if header["layers"] != expected_layers:
+            raise ValueError(
+                f"architecture mismatch: file has {header['layers']}, "
+                f"network has {expected_layers}"
+            )
+        if header["input_dim"] != network.input_dim:
+            raise ValueError(
+                f"input_dim mismatch: file has {header['input_dim']}, "
+                f"network has {network.input_dim}"
+            )
+        for i, layer in enumerate(network.layers):
+            prefix = f"layer{i}/"
+            state = {
+                key[len(prefix) :]: archive[key]
+                for key in archive.files
+                if key.startswith(prefix)
+            }
+            if state:
+                layer.load_state_dict(state)
+    return network

@@ -1,0 +1,19 @@
+"""Shared utilities: time-frames, calendars, validation, deterministic RNG."""
+
+from repro.utils.timeutil import (
+    OFF_HOURS,
+    TWO_TIMEFRAMES,
+    WORKING_HOURS,
+    TimeFrame,
+    date_range,
+    hourly_timeframes,
+)
+
+__all__ = [
+    "OFF_HOURS",
+    "TWO_TIMEFRAMES",
+    "WORKING_HOURS",
+    "TimeFrame",
+    "date_range",
+    "hourly_timeframes",
+]

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive artefacts (simulated datasets, fitted models) are
+session-scoped so the whole suite builds them once.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import build_organization
+from repro.datagen.simulator import simulate_cert_dataset
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running end-to-end test")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_org():
+    """Two departments of six users each."""
+    return build_organization([6, 6], seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_calendar():
+    """Seven weeks starting on a Monday."""
+    return SimulationCalendar.with_default_holidays(date(2010, 3, 1), date(2010, 4, 18))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_org, tiny_calendar):
+    """A small simulated CERT-style dataset shared across tests."""
+    return simulate_cert_dataset(tiny_org, tiny_calendar, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """The 'small' CERT benchmark (simulation + injection + features)."""
+    from repro.eval.experiments import build_cert_benchmark
+
+    return build_cert_benchmark(scale="small")

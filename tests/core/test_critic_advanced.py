@@ -1,0 +1,148 @@
+"""Advanced-critic tests (Section VII-B future work: spikes, waveforms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.critic_advanced import (
+    WAVEFORM_BENIGN_BURST,
+    WAVEFORM_FLAT,
+    WAVEFORM_SUSPICIOUS,
+    AdvancedCritic,
+    classify_waveform,
+    spike_score,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def flat(n=40, level=0.1, noise=0.005, rng=RNG):
+    return level + rng.normal(0, noise, size=n)
+
+
+def attack(n=40, level=0.1, noise=0.005, rise=0.3, rng=RNG):
+    """Sustained, chaotic elevation over the last week."""
+    w = flat(n, level, noise, rng)
+    w[-7:] += rise * (0.8 + 0.4 * rng.random(7))
+    return w
+
+
+def benign_burst(n=40, level=0.1, noise=0.003, rise=0.3, rng=RNG):
+    """Sharp rise then a smooth decay back toward baseline."""
+    w = flat(n, level, noise, rng)
+    decay = rise * np.exp(-np.arange(7) / 1.5)
+    w[-7:] = level + decay
+    return w
+
+
+class TestSpikeScore:
+    def test_flat_waveform_low(self):
+        assert spike_score(flat()) < 4.0
+
+    def test_attack_waveform_high(self):
+        assert spike_score(attack()) > 10.0
+
+    def test_short_series_zero(self):
+        assert spike_score([1.0, 2.0], recent_days=7) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            spike_score([])
+
+    def test_bad_recent_days(self):
+        with pytest.raises(ValueError):
+            spike_score([1.0] * 10, recent_days=0)
+
+    @given(st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_scale_invariant(self, factor):
+        w = attack(rng=np.random.default_rng(1))
+        a = spike_score(w)
+        b = spike_score(w * factor)
+        assert a == pytest.approx(b, rel=1e-6)
+
+
+class TestClassifyWaveform:
+    def test_flat(self):
+        assert classify_waveform(flat(rng=np.random.default_rng(2))) == WAVEFORM_FLAT
+
+    def test_attack_is_suspicious(self):
+        assert classify_waveform(attack(rng=np.random.default_rng(3))) == WAVEFORM_SUSPICIOUS
+
+    def test_benign_burst_decays(self):
+        w = benign_burst(rng=np.random.default_rng(4))
+        assert classify_waveform(w) == WAVEFORM_BENIGN_BURST
+
+    def test_spike_at_edge_is_suspicious(self):
+        w = flat(rng=np.random.default_rng(5))
+        w[-1] += 1.0
+        assert classify_waveform(w) == WAVEFORM_SUSPICIOUS
+
+
+class TestAdvancedCritic:
+    def build_scores(self, waveforms):
+        """One aspect, one row per user."""
+        return {"aspect": np.vstack(waveforms)}
+
+    def test_attacker_promoted_over_benign_burst(self):
+        rng = np.random.default_rng(6)
+        users = ["attacker", "developer", "quiet"]
+        # The developer's burst peaks slightly higher than the attacker's.
+        scores = self.build_scores(
+            [
+                attack(rise=0.3, rng=rng),
+                benign_burst(rise=0.4, rng=rng),
+                flat(rng=rng),
+            ]
+        )
+        critic = AdvancedCritic(n_votes=1)
+        entries = critic.investigate(scores, users)
+        assert entries[0].user == "attacker"
+        assert entries[0].waveform == WAVEFORM_SUSPICIOUS
+        by_user = {e.user: e for e in entries}
+        assert by_user["developer"].waveform == WAVEFORM_BENIGN_BURST
+        assert by_user["quiet"].waveform == WAVEFORM_FLAT
+
+    def test_flat_users_demoted(self):
+        rng = np.random.default_rng(7)
+        users = ["quiet1", "quiet2", "spiky"]
+        scores = self.build_scores(
+            [flat(level=0.3, rng=rng), flat(level=0.2, rng=rng), attack(level=0.05, rng=rng)]
+        )
+        critic = AdvancedCritic(n_votes=1, flat_demotion=10)
+        entries = critic.investigate(scores, users)
+        # Even though the quiet users have higher absolute scores, the
+        # spiking user is not buried below both demoted flat users.
+        position = [e.user for e in entries].index("spiky")
+        assert position <= 1
+
+    def test_base_priority_preserved_for_suspicious(self):
+        rng = np.random.default_rng(8)
+        users = ["a", "b"]
+        scores = self.build_scores([attack(rise=0.5, rng=rng), attack(rise=0.3, rng=rng)])
+        entries = AdvancedCritic(n_votes=1).investigate(scores, users)
+        by_user = {e.user: e for e in entries}
+        assert by_user["a"].priority == by_user["a"].base_priority == 1
+
+    def test_as_investigation_list_round_trip(self):
+        rng = np.random.default_rng(9)
+        users = ["a", "b", "c"]
+        scores = self.build_scores([attack(rng=rng), flat(rng=rng), flat(rng=rng)])
+        inv = AdvancedCritic(n_votes=1).as_investigation_list(scores, users)
+        assert sorted(inv.users()) == users
+        assert inv.users()[0] == "a"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdvancedCritic(n_votes=0)
+        with pytest.raises(ValueError):
+            AdvancedCritic(flat_demotion=-1)
+        with pytest.raises(ValueError):
+            AdvancedCritic(n_votes=2).investigate({"x": np.zeros((1, 10))}, ["u"])
+        with pytest.raises(ValueError):
+            AdvancedCritic(n_votes=1).investigate({}, [])
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            AdvancedCritic(n_votes=1).investigate({"x": np.zeros((2, 10))}, ["u"])

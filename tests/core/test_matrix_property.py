@@ -1,0 +1,83 @@
+"""Property-based tests on the compound-matrix assembly."""
+
+from datetime import date, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deviation import DeviationConfig, compute_deviations
+from repro.core.matrix import build_compound_matrices
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+from repro.utils.timeutil import TWO_TIMEFRAMES
+
+
+def cube_from_seed(seed, n_users=3, n_days=18):
+    fs = FeatureSet([AspectSpec("a", (FeatureSpec("f1", "a"), FeatureSpec("f2", "a")))])
+    users = [f"u{i}" for i in range(n_users)]
+    days = [date(2010, 1, 1) + timedelta(days=i) for i in range(n_days)]
+    values = np.random.default_rng(seed).poisson(4.0, size=(n_users, 2, 2, n_days)).astype(float)
+    return MeasurementCube(values, users, fs, TWO_TIMEFRAMES, days)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    window=st.integers(min_value=2, max_value=6),
+    matrix_days=st.integers(min_value=1, max_value=5),
+    include_group=st.booleans(),
+    apply_weights=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_vectors_always_in_unit_interval(seed, window, matrix_days, include_group, apply_weights):
+    cube = cube_from_seed(seed)
+    dev = compute_deviations(cube, None, DeviationConfig(window=window))
+    anchors = dev.days[matrix_days - 1 :]
+    mats = build_compound_matrices(
+        dev,
+        anchors,
+        matrix_days=matrix_days,
+        include_group=include_group,
+        apply_weights=apply_weights,
+    )
+    assert mats.vectors.min() >= 0.0
+    assert mats.vectors.max() <= 1.0
+    blocks = 2 if include_group else 1
+    assert mats.dim == blocks * 2 * 2 * matrix_days
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_adjacent_anchor_windows_overlap_consistently(seed):
+    """Matrix at anchor j shares D-1 columns with the matrix at j+1."""
+    cube = cube_from_seed(seed)
+    dev = compute_deviations(cube, None, DeviationConfig(window=4))
+    D = 4
+    anchors = dev.days[D - 1 :]
+    mats = build_compound_matrices(dev, anchors, matrix_days=D, include_group=False)
+    for u in range(len(mats.users)):
+        for j in range(len(anchors) - 1):
+            a = mats.vectors[u, j].reshape(2, 2, D)
+            b = mats.vectors[u, j + 1].reshape(2, 2, D)
+            np.testing.assert_array_equal(a[..., 1:], b[..., :-1])
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    scale=st.floats(min_value=0.5, max_value=20.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_deviation_scale_invariance_of_sigma(seed, scale):
+    """Multiplying all measurements by a constant leaves sigma unchanged
+    wherever the history std is above the epsilon floor."""
+    cube = cube_from_seed(seed)
+    cfg = DeviationConfig(window=5)
+    dev_a = compute_deviations(cube, None, cfg)
+    scaled = MeasurementCube(
+        cube.values * scale, cube.users, cube.feature_set, cube.timeframes, cube.days
+    )
+    dev_b = compute_deviations(scaled, None, cfg)
+    # Compare only where both histories had real variance.
+    mask = (np.abs(dev_a.sigma) < cfg.delta) & (np.abs(dev_b.sigma) < cfg.delta)
+    np.testing.assert_allclose(dev_a.sigma[mask], dev_b.sigma[mask], atol=1e-8)

@@ -1,0 +1,97 @@
+"""Model save/load round-trip tests."""
+
+from datetime import date, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.detector import CompoundBehaviorModel, ModelConfig
+from repro.core.persistence import attach_representation, load_model, save_model
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+from repro.nn.autoencoder import AutoencoderConfig
+from repro.utils.timeutil import TWO_TIMEFRAMES
+
+TINY_AE = AutoencoderConfig(
+    encoder_units=(8, 4),
+    epochs=3,
+    batch_size=16,
+    optimizer="adam",
+    early_stopping_patience=None,
+    validation_split=0.0,
+    seed=1,
+)
+
+N_DAYS = 30
+DAYS = [date(2010, 1, 1) + timedelta(days=i) for i in range(N_DAYS)]
+
+
+@pytest.fixture(scope="module")
+def cube():
+    fs = FeatureSet(
+        [
+            AspectSpec("a", (FeatureSpec("f1", "a"), FeatureSpec("f2", "a"))),
+            AspectSpec("b", (FeatureSpec("f3", "b"),)),
+        ]
+    )
+    users = [f"u{i}" for i in range(5)]
+    values = np.random.default_rng(0).poisson(5.0, size=(5, 3, 2, N_DAYS)).astype(float)
+    return MeasurementCube(values, users, fs, TWO_TIMEFRAMES, DAYS)
+
+
+@pytest.fixture(scope="module")
+def fitted(cube):
+    model = CompoundBehaviorModel(
+        ModelConfig(window=5, matrix_days=5, critic_n=2, autoencoder=TINY_AE)
+    )
+    model.fit(cube, None, DAYS[:20])
+    return model
+
+
+def test_round_trip_preserves_scores(tmp_path, cube, fitted):
+    save_model(fitted, tmp_path / "model")
+    loaded = load_model(tmp_path / "model")
+    attach_representation(loaded, cube, None, DAYS[:20])
+
+    test_days = fitted.valid_anchor_days(DAYS[20:])
+    original = fitted.score(test_days)
+    restored = loaded.score(test_days)
+    assert set(original) == set(restored)
+    for aspect in original:
+        np.testing.assert_array_equal(original[aspect], restored[aspect])
+
+
+def test_round_trip_preserves_config(tmp_path, fitted):
+    save_model(fitted, tmp_path / "model")
+    loaded = load_model(tmp_path / "model")
+    assert loaded.config == fitted.config
+
+
+def test_loaded_model_requires_representation(tmp_path, fitted):
+    save_model(fitted, tmp_path / "model")
+    loaded = load_model(tmp_path / "model")
+    with pytest.raises(RuntimeError):
+        loaded.score(DAYS[-3:])
+
+
+def test_save_unfitted_raises(tmp_path):
+    model = CompoundBehaviorModel(ModelConfig(window=5, matrix_days=5, autoencoder=TINY_AE))
+    with pytest.raises(ValueError):
+        save_model(model, tmp_path / "m")
+
+
+def test_load_missing_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_model(tmp_path / "nothing")
+
+
+def test_attach_rejects_mismatched_cube(tmp_path, cube, fitted):
+    save_model(fitted, tmp_path / "model")
+    loaded = load_model(tmp_path / "model")
+    # A cube with different aspects must be rejected.
+    fs = FeatureSet([AspectSpec("z", (FeatureSpec("zz", "z"),))])
+    other = MeasurementCube(
+        np.zeros((5, 1, 2, N_DAYS)), cube.users, fs, TWO_TIMEFRAMES, DAYS
+    )
+    with pytest.raises(ValueError, match="aspect mismatch"):
+        attach_representation(loaded, other, None, DAYS[:20])

@@ -1,0 +1,128 @@
+"""Streaming-detector tests: day-by-day output must equal the batch path."""
+
+from datetime import date, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.detector import CompoundBehaviorModel, ModelConfig
+from repro.core.streaming import StreamingDetector
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+from repro.nn.autoencoder import AutoencoderConfig
+from repro.utils.timeutil import TWO_TIMEFRAMES
+
+TINY_AE = AutoencoderConfig(
+    encoder_units=(8, 4),
+    epochs=3,
+    batch_size=16,
+    optimizer="adam",
+    early_stopping_patience=None,
+    validation_split=0.0,
+    seed=1,
+)
+
+N_DAYS = 35
+DAYS = [date(2010, 1, 1) + timedelta(days=i) for i in range(N_DAYS)]
+
+
+@pytest.fixture(scope="module")
+def cube():
+    fs = FeatureSet(
+        [
+            AspectSpec("a", (FeatureSpec("f1", "a"), FeatureSpec("f2", "a"))),
+            AspectSpec("b", (FeatureSpec("f3", "b"),)),
+        ]
+    )
+    users = [f"u{i}" for i in range(6)]
+    values = np.random.default_rng(4).poisson(5.0, size=(6, 3, 2, N_DAYS)).astype(float)
+    return MeasurementCube(values, users, fs, TWO_TIMEFRAMES, DAYS)
+
+
+@pytest.fixture(scope="module")
+def group_map(cube):
+    return {u: ("g1" if i < 3 else "g2") for i, u in enumerate(cube.users)}
+
+
+@pytest.fixture(scope="module")
+def fitted(cube, group_map):
+    model = CompoundBehaviorModel(
+        ModelConfig(window=5, matrix_days=5, critic_n=2, autoencoder=TINY_AE)
+    )
+    model.fit(cube, group_map, DAYS[:25])
+    return model
+
+
+class TestStreamingMatchesBatch:
+    def test_daily_scores_equal_batch_scores(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        results = {}
+        for d, day in enumerate(DAYS):
+            out = stream.observe_day(day, cube.values[:, :, :, d])
+            if out is not None:
+                results[day] = out
+
+        test_days = fitted.valid_anchor_days(DAYS[25:])
+        batch = fitted.score(test_days)
+        for j, day in enumerate(test_days):
+            assert day in results
+            for aspect, arr in batch.items():
+                np.testing.assert_allclose(
+                    results[day].scores[aspect], arr[:, j], rtol=1e-10
+                )
+
+    def test_daily_investigation_matches_batch_critic(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        last = None
+        for d, day in enumerate(DAYS):
+            out = stream.observe_day(day, cube.values[:, :, :, d])
+            if out is not None:
+                last = out
+        assert last is not None
+        assert sorted(last.investigation.users()) == sorted(cube.users)
+        assert last.rank_of(cube.users[0]) >= 1
+
+
+class TestStreamingGuards:
+    def test_requires_fitted_model(self, cube):
+        model = CompoundBehaviorModel(ModelConfig(window=5, matrix_days=5, autoencoder=TINY_AE))
+        with pytest.raises(ValueError, match="fitted"):
+            StreamingDetector(model, cube.users)
+
+    def test_rejects_normalized_representation(self, cube, group_map):
+        model = CompoundBehaviorModel(
+            ModelConfig(
+                representation="normalized",
+                matrix_days=1,
+                apply_weights=False,
+                autoencoder=TINY_AE,
+            )
+        )
+        model.fit(cube, group_map, DAYS[:25])
+        with pytest.raises(ValueError, match="deviation representation"):
+            StreamingDetector(model, cube.users, group_map)
+
+    def test_not_ready_before_buffers_fill(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        # window-1 + matrix_days - 1 = 8 days of silence, output on day 9.
+        outputs = []
+        for d in range(9):
+            outputs.append(stream.observe_day(DAYS[d], cube.values[:, :, :, d]))
+        assert all(o is None for o in outputs[:8])
+        assert outputs[8] is not None
+
+    def test_rejects_non_increasing_days(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        stream.observe_day(DAYS[0], cube.values[:, :, :, 0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            stream.observe_day(DAYS[0], cube.values[:, :, :, 0])
+
+    def test_rejects_bad_slab_shape(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        with pytest.raises(ValueError):
+            stream.observe_day(DAYS[0], np.zeros((2, 3)))
+
+    def test_warm_up_requires_matching_users(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users[:-1] + ["zz"], group_map | {"zz": "g1"})
+        with pytest.raises(ValueError, match="users differ"):
+            stream.warm_up(cube)

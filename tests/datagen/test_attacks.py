@@ -1,0 +1,112 @@
+"""Zeus / WannaCry attack-injection tests."""
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.datagen.attacks import inject_wannacry, inject_zeus
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.enterprise import simulate_enterprise_dataset
+
+
+@pytest.fixture
+def dataset():
+    cal = SimulationCalendar.with_default_holidays(date(2021, 7, 1), date(2021, 8, 31))
+    return simulate_enterprise_dataset(4, cal, seed=8)
+
+
+ATTACK_DAY = date(2021, 8, 2)
+
+
+class TestZeus:
+    def test_injection_recorded(self, dataset):
+        inj = inject_zeus(dataset, "emp0000", ATTACK_DAY)
+        assert dataset.victims == ["emp0000"]
+        assert inj.attack == "zeus"
+
+    def test_day_zero_registry_modifications(self, dataset):
+        inject_zeus(dataset, "emp0000", ATTACK_DAY)
+        regs = [
+            e
+            for e in dataset.store.events("emp0000", "sysmon", ATTACK_DAY)
+            if e.event_id == 13 and "zeus" in e.image
+        ]
+        assert len(regs) >= 3
+
+    def test_cc_traffic_starts_after_delay(self, dataset):
+        inj = inject_zeus(dataset, "emp0000", ATTACK_DAY, active_delay_days=2)
+        # No C&C on the attack day or the next.
+        for offset in (0, 1):
+            day = ATTACK_DAY + timedelta(days=offset)
+            cc = [
+                e
+                for e in dataset.store.events("emp0000", "proxy", day)
+                if "gameover" in e.domain
+            ]
+            assert cc == []
+        first_active = ATTACK_DAY + timedelta(days=2)
+        cc = [
+            e
+            for e in dataset.store.events("emp0000", "proxy", first_active)
+            if "gameover" in e.domain
+        ]
+        assert cc
+
+    def test_dga_nxdomain_flood(self, dataset):
+        inject_zeus(dataset, "emp0000", ATTACK_DAY, dga_queries_per_day=25)
+        day = ATTACK_DAY + timedelta(days=3)
+        nx = [e for e in dataset.store.events("emp0000", "dns", day) if not e.resolved]
+        assert len(nx) >= 25
+        failures = [
+            e for e in dataset.store.events("emp0000", "proxy", day) if e.verdict == "failure"
+        ]
+        assert len(failures) >= 25
+
+    def test_dga_domains_rotate_daily(self, dataset):
+        inject_zeus(dataset, "emp0000", ATTACK_DAY, dga_queries_per_day=10)
+        d1 = {e.domain for e in dataset.store.events("emp0000", "dns", ATTACK_DAY + timedelta(days=2))}
+        d2 = {e.domain for e in dataset.store.events("emp0000", "dns", ATTACK_DAY + timedelta(days=3))}
+        assert d1 and d2 and not (d1 & d2)
+
+    def test_unknown_victim_raises(self, dataset):
+        with pytest.raises(KeyError):
+            inject_zeus(dataset, "ghost", ATTACK_DAY)
+
+
+class TestWannaCry:
+    def test_registry_and_execution_day_zero(self, dataset):
+        inject_wannacry(dataset, "emp0001", ATTACK_DAY)
+        sysmon = dataset.store.events("emp0001", "sysmon", ATTACK_DAY)
+        assert any(e.event_id == 1 and "tasksche" in e.image for e in sysmon)
+        assert sum(e.event_id == 13 for e in sysmon) >= 3
+
+    def test_mass_encryption_footprint(self, dataset):
+        inject_wannacry(dataset, "emp0001", ATTACK_DAY, encryption_days=2, files_per_day=100)
+        for offset in range(2):
+            day = ATTACK_DAY + timedelta(days=offset)
+            writes = [
+                e
+                for e in dataset.store.events("emp0001", "sysmon", day)
+                if e.event_id == 11 and e.target.endswith(".WNCRY")
+            ]
+            assert len(writes) >= 100
+            deletes = [
+                e
+                for e in dataset.store.events("emp0001", "windows", day)
+                if e.event_id == 4660
+            ]
+            assert len(deletes) >= 100
+
+    def test_encryption_stops_at_end(self, dataset):
+        inj = inject_wannacry(dataset, "emp0001", ATTACK_DAY, encryption_days=2)
+        after = inj.end + timedelta(days=1)
+        writes = [
+            e
+            for e in dataset.store.events("emp0001", "sysmon", after)
+            if e.target.endswith(".WNCRY")
+        ]
+        assert writes == []
+
+    def test_rejects_bad_duration(self, dataset):
+        with pytest.raises(ValueError):
+            inject_wannacry(dataset, "emp0001", ATTACK_DAY, encryption_days=0)

@@ -1,0 +1,102 @@
+"""Simulation calendar tests."""
+
+from datetime import date
+
+import pytest
+
+from repro.datagen.calendar import SimulationCalendar, default_holidays
+
+
+@pytest.fixture
+def cal():
+    # 2010-01-04 is a Monday.
+    return SimulationCalendar.with_default_holidays(date(2010, 1, 1), date(2010, 12, 31))
+
+
+class TestBasics:
+    def test_days_inclusive(self, cal):
+        days = cal.days()
+        assert days[0] == date(2010, 1, 1)
+        assert days[-1] == date(2010, 12, 31)
+        assert cal.n_days() == 365
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            SimulationCalendar(date(2010, 2, 1), date(2010, 1, 1))
+
+    def test_weekend_detection(self, cal):
+        assert cal.is_weekend(date(2010, 1, 2))  # Saturday
+        assert cal.is_weekend(date(2010, 1, 3))  # Sunday
+        assert not cal.is_weekend(date(2010, 1, 4))  # Monday
+
+    def test_holiday_detection(self, cal):
+        assert cal.is_holiday(date(2010, 1, 1))
+        assert cal.is_holiday(date(2010, 12, 25))
+        assert cal.is_holiday(date(2010, 7, 4))
+
+    def test_default_holidays_cover_thanksgiving_pair(self):
+        hols = default_holidays([2010])
+        # 4th Thursday of November 2010 is the 25th.
+        assert date(2010, 11, 25) in hols
+        assert date(2010, 11, 26) in hols
+
+
+class TestBusyDays:
+    def test_monday_is_busy(self, cal):
+        assert cal.is_busy_day(date(2010, 1, 4))
+
+    def test_midweek_not_busy(self, cal):
+        assert not cal.is_busy_day(date(2010, 1, 6))
+
+    def test_day_after_holiday_is_busy(self, cal):
+        # July 4 2010 is a Sunday; Monday July 5 follows a non-working day.
+        assert cal.is_busy_day(date(2010, 7, 5))
+
+    def test_weekend_never_busy(self, cal):
+        assert not cal.is_busy_day(date(2010, 1, 2))
+
+
+class TestActivityFactor:
+    def test_ordinary_working_day(self, cal):
+        assert cal.activity_factor(date(2010, 1, 6)) == 1.0
+
+    def test_busy_day_factor(self, cal):
+        assert cal.activity_factor(date(2010, 1, 4)) == cal.busy_day_factor
+
+    def test_weekend_factor(self, cal):
+        assert cal.activity_factor(date(2010, 1, 2)) == cal.weekend_activity_factor
+
+    def test_holiday_factor(self, cal):
+        assert cal.activity_factor(date(2010, 12, 25)) == cal.holiday_activity_factor
+
+    def test_holiday_beats_weekend(self, cal):
+        # Christmas 2010 is a Saturday; the holiday factor must win.
+        assert cal.activity_factor(date(2010, 12, 25)) == cal.holiday_activity_factor
+
+
+class TestSplit:
+    def test_split_partitions_days(self, cal):
+        head, tail = cal.split(date(2010, 6, 30))
+        assert head.end == date(2010, 6, 30)
+        assert tail.start == date(2010, 7, 1)
+        assert head.n_days() + tail.n_days() == cal.n_days()
+
+    def test_split_preserves_holidays(self, cal):
+        _, tail = cal.split(date(2010, 6, 30))
+        assert tail.is_holiday(date(2010, 12, 25))
+
+    def test_split_out_of_range_raises(self, cal):
+        with pytest.raises(ValueError):
+            cal.split(date(2010, 12, 31))
+
+    def test_working_days_excludes_weekends_and_holidays(self, cal):
+        working = cal.working_days()
+        assert date(2010, 1, 2) not in working
+        assert date(2010, 12, 25) not in working
+        assert date(2010, 1, 4) in working
+
+    def test_validation_of_factors(self):
+        with pytest.raises(ValueError):
+            SimulationCalendar(date(2010, 1, 1), date(2010, 1, 2), busy_day_factor=0.5)
+        with pytest.raises(ValueError):
+            SimulationCalendar(date(2010, 1, 1), date(2010, 1, 2), weekend_activity_factor=1.5)

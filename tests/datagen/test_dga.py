@@ -1,0 +1,49 @@
+"""newGOZ-style DGA tests."""
+
+import re
+from datetime import date
+
+import pytest
+
+from repro.datagen.dga import newgoz_domain, newgoz_domains
+
+
+def test_deterministic():
+    d = date(2021, 2, 2)
+    assert newgoz_domain(d, 0) == newgoz_domain(d, 0)
+
+
+def test_format():
+    for i in range(50):
+        domain = newgoz_domain(date(2021, 2, 2), i)
+        assert re.fullmatch(r"[a-z]{12,22}\.(com|net|org|biz|info)", domain)
+
+
+def test_distinct_across_indices():
+    domains = newgoz_domains(date(2021, 2, 2), 100)
+    assert len(set(domains)) == 100
+
+
+def test_distinct_across_days():
+    a = set(newgoz_domains(date(2021, 2, 2), 50))
+    b = set(newgoz_domains(date(2021, 2, 3), 50))
+    assert not a & b
+
+
+def test_seed_changes_output():
+    d = date(2021, 2, 2)
+    assert newgoz_domain(d, 0, seed=1) != newgoz_domain(d, 0, seed=2)
+
+
+def test_rejects_negative_index():
+    with pytest.raises(ValueError):
+        newgoz_domain(date(2021, 1, 1), -1)
+
+
+def test_rejects_negative_count():
+    with pytest.raises(ValueError):
+        newgoz_domains(date(2021, 1, 1), -5)
+
+
+def test_count_zero_empty():
+    assert newgoz_domains(date(2021, 1, 1), 0) == []

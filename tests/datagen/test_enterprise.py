@@ -1,0 +1,122 @@
+"""Enterprise simulator tests."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.enterprise import (
+    COMMAND_EVENT_IDS,
+    CONFIG_EVENT_IDS,
+    FILE_EVENT_IDS,
+    RESOURCE_EVENT_IDS,
+    EnterpriseProfile,
+    RolloutChange,
+    sample_enterprise_profiles,
+    simulate_enterprise_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def calendar():
+    return SimulationCalendar.with_default_holidays(date(2021, 7, 1), date(2021, 9, 15))
+
+
+@pytest.fixture(scope="module")
+def dataset(calendar):
+    return simulate_enterprise_dataset(8, calendar, seed=3)
+
+
+class TestEventIdGroups:
+    def test_groups_disjoint(self):
+        groups = [FILE_EVENT_IDS, COMMAND_EVENT_IDS, CONFIG_EVENT_IDS, RESOURCE_EVENT_IDS]
+        for i, a in enumerate(groups):
+            for b in groups[i + 1 :]:
+                assert not a & b
+
+    def test_paper_listed_ids_present(self):
+        # Section VI-B lists these explicitly.
+        assert {2, 11, 4656, 4663, 4670, 5140, 5145} <= FILE_EVENT_IDS
+        assert {1, 4100, 4104, 4688} <= COMMAND_EVENT_IDS
+
+
+class TestSimulation:
+    def test_population(self, dataset):
+        assert len(dataset.users()) == 8
+        assert dataset.users()[0].startswith("emp")
+
+    def test_log_families_present(self, dataset):
+        types = set(dataset.store.type_names())
+        assert {"windows", "sysmon", "proxy", "logon"} <= types
+
+    def test_rollout_scheduled_by_default(self, dataset):
+        assert len(dataset.rollouts) == 1
+
+    def test_reproducible(self, calendar):
+        a = simulate_enterprise_dataset(4, calendar, seed=9)
+        b = simulate_enterprise_dataset(4, calendar, seed=9)
+        assert a.store.count() == b.store.count()
+
+    def test_rejects_empty_population(self, calendar):
+        with pytest.raises(ValueError):
+            simulate_enterprise_dataset(0, calendar)
+
+    def test_no_attacks_by_default(self, dataset):
+        assert dataset.victims == []
+
+
+class TestRolloutEffect:
+    def test_command_rises_http_drops(self, calendar):
+        rollout = RolloutChange(
+            start=date(2021, 8, 16), duration_days=5, participation=1.0,
+            command_multiplier=4.0, http_multiplier=0.3,
+        )
+        ds = simulate_enterprise_dataset(6, calendar, seed=4, rollouts=[rollout])
+        rollout_days = [d for d in calendar.days() if rollout.active_on(d)]
+        normal_days = [
+            d for d in calendar.working_days() if not rollout.active_on(d)
+        ]
+
+        def mean_daily(user, type_name, days, pred=lambda e: True):
+            return np.mean(
+                [sum(pred(e) for e in ds.store.events(user, type_name, d)) for d in days]
+            )
+
+        cmd_ids = COMMAND_EVENT_IDS
+        rollout_cmd = np.mean(
+            [
+                mean_daily(u, "sysmon", rollout_days, lambda e: e.event_id in cmd_ids)
+                + mean_daily(u, "windows", rollout_days, lambda e: e.event_id in cmd_ids)
+                for u in ds.users()
+            ]
+        )
+        normal_cmd = np.mean(
+            [
+                mean_daily(u, "sysmon", normal_days, lambda e: e.event_id in cmd_ids)
+                + mean_daily(u, "windows", normal_days, lambda e: e.event_id in cmd_ids)
+                for u in ds.users()
+            ]
+        )
+        rollout_http = np.mean([mean_daily(u, "proxy", rollout_days) for u in ds.users()])
+        normal_http = np.mean([mean_daily(u, "proxy", normal_days) for u in ds.users()])
+        assert rollout_cmd > 1.5 * normal_cmd
+        assert rollout_http < 0.8 * normal_http
+
+
+class TestProfiles:
+    def test_sampling_reproducible(self):
+        a = sample_enterprise_profiles(["x", "y"], seed=1)
+        b = sample_enterprise_profiles(["x", "y"], seed=1)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnterpriseProfile(user="u", file_rate=-1)
+        with pytest.raises(ValueError):
+            EnterpriseProfile(user="u", off_hour_fraction=2.0)
+
+    def test_vocabularies(self):
+        p = EnterpriseProfile(user="u")
+        assert len(p.habitual_files) == p.n_habitual_files
+        assert any("portal" in d for d in p.habitual_domains)

@@ -1,0 +1,87 @@
+"""Organization model tests."""
+
+import re
+
+import pytest
+
+from repro.datagen.org import Organization, build_organization
+from repro.logs.schema import UserRecord
+
+
+class TestBuildOrganization:
+    def test_sizes(self):
+        org = build_organization([5, 7, 3], seed=0)
+        assert len(org) == 15
+        sizes = [len(org.members(d)) for d in org.departments()]
+        assert sorted(sizes) == [3, 5, 7]
+
+    def test_cert_style_ids(self):
+        org = build_organization([10], seed=0)
+        for uid in org.user_ids():
+            assert re.fullmatch(r"[A-Z]{3}\d{4}", uid)
+
+    def test_ids_unique(self):
+        org = build_organization([200, 200], seed=1)
+        ids = org.user_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_three_tier_org_path(self):
+        org = build_organization([4], seed=0)
+        record = org.users[0]
+        assert len(record.org_path) == 3
+        assert record.department.count("/") == 2
+
+    def test_reproducible(self):
+        a = build_organization([5, 5], seed=42)
+        b = build_organization([5, 5], seed=42)
+        assert a.user_ids() == b.user_ids()
+
+    def test_different_seeds_differ(self):
+        a = build_organization([20], seed=1)
+        b = build_organization([20], seed=2)
+        assert a.user_ids() != b.user_ids()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_organization([])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            build_organization([5, 0])
+
+    def test_paper_population(self):
+        org = build_organization([114, 272, 270, 273], seed=0)
+        assert len(org) == 929
+        assert len(org.departments()) == 4
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def org(self):
+        return build_organization([4, 4], seed=9)
+
+    def test_department_of(self, org):
+        uid = org.user_ids()[0]
+        assert org.department_of(uid) in org.departments()
+
+    def test_record_lookup(self, org):
+        uid = org.user_ids()[0]
+        assert org.record(uid).user == uid
+
+    def test_record_missing_raises(self, org):
+        with pytest.raises(KeyError):
+            org.record("ZZZ9999")
+
+    def test_members_missing_raises(self, org):
+        with pytest.raises(KeyError):
+            org.members("no-such-dept")
+
+    def test_group_map_covers_everyone(self, org):
+        gm = org.group_map()
+        assert set(gm) == set(org.user_ids())
+        assert set(gm.values()) == set(org.departments())
+
+    def test_duplicate_ids_rejected(self):
+        rec = UserRecord("AAA0001", "X Y", ("C", "D", "E"))
+        with pytest.raises(ValueError):
+            Organization("X", [rec, rec])

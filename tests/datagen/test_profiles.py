@@ -1,0 +1,87 @@
+"""User profile sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.profiles import UserProfile, sample_profile, sample_profiles
+
+
+class TestUserProfile:
+    def test_defaults_valid(self):
+        p = UserProfile(user="u")
+        assert p.logon_rate > 0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            UserProfile(user="u", file_open_rate=-1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            UserProfile(user="u", remote_fraction=1.5)
+
+    def test_rejects_unknown_upload_type(self):
+        with pytest.raises(ValueError):
+            UserProfile(user="u", upload_rates={"iso": 1.0})
+
+    def test_rejects_empty_vocab(self):
+        with pytest.raises(ValueError):
+            UserProfile(user="u", n_habitual_files=0)
+
+    def test_vocabularies_are_user_specific(self):
+        a = UserProfile(user="AAA")
+        b = UserProfile(user="BBB")
+        assert not set(a.habitual_files) & set(b.habitual_files)
+        # Shared intranet domains overlap, personal ones don't.
+        shared = set(a.habitual_domains) & set(b.habitual_domains)
+        assert all("intranet" in d or "dtaa" in d for d in shared)
+
+    def test_own_pc_in_habitual_hosts(self):
+        p = UserProfile(user="u", n_habitual_hosts=2)
+        assert p.own_pc in p.habitual_hosts
+
+
+class TestSampling:
+    def test_reproducible(self):
+        a = sample_profile("u", np.random.default_rng(7))
+        b = sample_profile("u", np.random.default_rng(7))
+        assert a == b
+
+    def test_device_users_have_positive_rate(self):
+        rng = np.random.default_rng(0)
+        profiles = [sample_profile(f"u{i}", rng) for i in range(200)]
+        for p in profiles:
+            if p.device_user:
+                assert p.device_rate > 0
+            else:
+                assert p.device_rate == 0.0
+
+    def test_device_user_fraction_reasonable(self):
+        rng = np.random.default_rng(0)
+        profiles = [sample_profile(f"u{i}", rng, device_user_prob=0.25) for i in range(400)]
+        frac = sum(p.device_user for p in profiles) / len(profiles)
+        assert 0.15 < frac < 0.35
+
+    def test_off_hour_workers_have_bigger_fraction(self):
+        rng = np.random.default_rng(0)
+        profiles = [sample_profile(f"u{i}", rng) for i in range(300)]
+        on = [p.off_hour_fraction for p in profiles if p.off_hour_worker]
+        off = [p.off_hour_fraction for p in profiles if not p.off_hour_worker]
+        assert min(on) > max(off)
+
+    def test_upload_habits_regular_or_absent(self):
+        """Habitual upload rates must be 0 or comfortably above the noise
+        floor -- sporadic habits would saturate deviation clamps."""
+        rng = np.random.default_rng(0)
+        for i in range(300):
+            p = sample_profile(f"u{i}", rng)
+            for rate in p.upload_rates.values():
+                assert rate > 0.5
+
+    def test_sample_profiles_covers_users(self):
+        users = ["a", "b", "c"]
+        profiles = sample_profiles(users, seed=1)
+        assert set(profiles) == set(users)
+        assert all(profiles[u].user == u for u in users)
+
+    def test_sample_profiles_seeded(self):
+        assert sample_profiles(["a", "b"], seed=3) == sample_profiles(["a", "b"], seed=3)

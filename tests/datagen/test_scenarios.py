@@ -1,0 +1,140 @@
+"""Insider-threat scenario injection tests."""
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import build_organization
+from repro.datagen.scenarios import (
+    inject_scenario1,
+    inject_scenario2,
+    pick_scenario1_victim,
+    pick_scenario2_victim,
+)
+from repro.datagen.simulator import simulate_cert_dataset
+from repro.utils.timeutil import WORKING_HOURS
+
+
+@pytest.fixture
+def dataset():
+    org = build_organization([8], seed=21)
+    cal = SimulationCalendar.with_default_holidays(date(2010, 3, 1), date(2010, 5, 30))
+    return simulate_cert_dataset(org, cal, seed=21)
+
+
+class TestScenario1:
+    def test_injection_adds_labels(self, dataset):
+        victim = pick_scenario1_victim(dataset, dataset.organization.departments()[0])
+        inj = inject_scenario1(dataset, victim, start=date(2010, 4, 20), seed=1)
+        assert inj.user == victim
+        assert dataset.abnormal_users == [victim]
+        assert len(inj.labeled_days) >= 5
+        assert all(inj.start <= d <= inj.end for d in inj.labeled_days)
+
+    def test_victim_gains_off_hour_device_usage(self, dataset):
+        victim = pick_scenario1_victim(dataset, dataset.organization.departments()[0])
+        inj = inject_scenario1(dataset, victim, start=date(2010, 4, 20), seed=1)
+        connects = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(victim, "device", day)
+            if e.activity == "connect"
+        ]
+        assert connects, "scenario 1 must add device connections"
+        assert all(not WORKING_HOURS.contains(e.timestamp) for e in connects)
+
+    def test_victim_uploads_to_wikileaks(self, dataset):
+        victim = pick_scenario1_victim(dataset, dataset.organization.departments()[0])
+        inj = inject_scenario1(dataset, victim, start=date(2010, 4, 20), seed=1)
+        uploads = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(victim, "http", day)
+            if e.activity == "upload" and e.domain == "wikileaks.org"
+        ]
+        assert uploads
+
+    def test_rejects_device_user_victim(self, dataset):
+        device_users = [u for u, p in dataset.profiles.items() if p.device_user]
+        if not device_users:
+            pytest.skip("no device user in this draw")
+        with pytest.raises(ValueError, match="scenario 1 requires"):
+            inject_scenario1(dataset, device_users[0], start=date(2010, 4, 20))
+
+    def test_rejects_unknown_user(self, dataset):
+        with pytest.raises(KeyError):
+            inject_scenario1(dataset, "ZZZ0000", start=date(2010, 4, 20))
+
+
+class TestScenario2:
+    def test_two_phases(self, dataset):
+        dept = dataset.organization.departments()[0]
+        victim = pick_scenario2_victim(dataset, dept)
+        inj = inject_scenario2(
+            dataset, victim, start=date(2010, 4, 1), surf_days=20, exfil_days=8, seed=2
+        )
+        assert inj.scenario == 2
+        assert inj.end == date(2010, 4, 1) + timedelta(days=27)
+
+        surf_window = [d for d in inj.labeled_days if d < date(2010, 4, 21)]
+        exfil_window = [d for d in inj.labeled_days if d >= date(2010, 4, 21)]
+        assert surf_window and exfil_window
+
+    def test_surf_phase_uploads_docs_to_job_sites(self, dataset):
+        dept = dataset.organization.departments()[0]
+        victim = pick_scenario2_victim(dataset, dept)
+        inj = inject_scenario2(
+            dataset, victim, start=date(2010, 4, 1), surf_days=20, exfil_days=8, seed=2
+        )
+        uploads = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(victim, "http", day)
+            if e.activity == "upload" and e.filetype == "doc"
+        ]
+        assert uploads
+        domains = {e.domain for e in uploads}
+        assert len(domains) >= 3, "resume goes to several websites"
+
+    def test_exfil_phase_device_burst(self, dataset):
+        dept = dataset.organization.departments()[0]
+        victim = pick_scenario2_victim(dataset, dept)
+        inj = inject_scenario2(
+            dataset, victim, start=date(2010, 4, 1), surf_days=20, exfil_days=8, seed=2
+        )
+        exfil_days = [d for d in inj.labeled_days if d >= date(2010, 4, 21)]
+        connects = [
+            e
+            for day in exfil_days
+            for e in dataset.store.events(victim, "device", day)
+            if e.activity == "connect"
+        ]
+        assert len(connects) / max(len(exfil_days), 1) >= 4
+
+    def test_victim_selection_prefers_non_uploaders(self, dataset):
+        dept = dataset.organization.departments()[0]
+        victim = pick_scenario2_victim(dataset, dept)
+        profile = dataset.profiles[victim]
+        others = [r.user for r in dataset.organization.members(dept)]
+        doc_rates = [dataset.profiles[u].upload_rates.get("doc", 0.0) for u in others]
+        assert profile.upload_rates.get("doc", 0.0) == min(doc_rates)
+
+    def test_exclude_respected(self, dataset):
+        dept = dataset.organization.departments()[0]
+        first = pick_scenario2_victim(dataset, dept)
+        second = pick_scenario2_victim(dataset, dept, exclude=(first,))
+        assert first != second
+
+
+class TestInjectionRecord:
+    def test_multiple_injections_accumulate(self, dataset):
+        dept = dataset.organization.departments()[0]
+        v1 = pick_scenario1_victim(dataset, dept)
+        inject_scenario1(dataset, v1, start=date(2010, 4, 20), seed=1)
+        v2 = pick_scenario2_victim(dataset, dept, exclude=(v1,))
+        inject_scenario2(dataset, v2, start=date(2010, 4, 1), surf_days=15, exfil_days=5, seed=2)
+        assert sorted(dataset.abnormal_users) == sorted({v1, v2})
+        labels = dataset.labels()
+        assert labels[v1] and labels[v2]
+        assert sum(labels.values()) == 2

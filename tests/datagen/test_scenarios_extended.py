@@ -1,0 +1,137 @@
+"""Tests for CERT scenarios 3-5 (beyond the paper's evaluation)."""
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import build_organization
+from repro.datagen.scenarios import (
+    ScenarioInjection,
+    inject_scenario3,
+    inject_scenario4,
+    inject_scenario5,
+)
+from repro.datagen.simulator import simulate_cert_dataset
+
+START = date(2010, 4, 12)
+
+
+@pytest.fixture
+def dataset():
+    org = build_organization([6], seed=41)
+    cal = SimulationCalendar.with_default_holidays(date(2010, 3, 1), date(2010, 5, 30))
+    return simulate_cert_dataset(org, cal, seed=41)
+
+
+class TestScenario3:
+    def test_keylogger_plant_and_mass_email(self, dataset):
+        users = dataset.organization.user_ids()
+        admin, supervisor = users[0], users[1]
+        inj = inject_scenario3(dataset, admin, supervisor, start=START, seed=1)
+        assert inj.scenario == 3
+        assert inj.user == admin
+
+        # The keylogger binary lands on the admin's machine on day 0.
+        writes = [
+            e
+            for e in dataset.store.events(admin, "file", START)
+            if e.file_id == "F-KEYLOGGER-EXE"
+        ]
+        assert writes
+
+        # The final day carries the supervisor's alarming mass email.
+        emails = dataset.store.events(supervisor, "email", inj.end)
+        mass = [e for e in emails if e.n_recipients >= 20]
+        assert len(mass) >= 15
+
+    def test_admin_connects_to_supervisor_pc(self, dataset):
+        users = dataset.organization.user_ids()
+        admin, supervisor = users[0], users[1]
+        inj = inject_scenario3(dataset, admin, supervisor, start=START, seed=1)
+        supervisor_pc = dataset.profiles[supervisor].own_pc
+        connects = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(admin, "device", day)
+            if e.host == supervisor_pc
+        ]
+        assert connects
+
+    def test_same_user_rejected(self, dataset):
+        u = dataset.organization.user_ids()[0]
+        with pytest.raises(ValueError):
+            inject_scenario3(dataset, u, u, start=START)
+
+
+class TestScenario4:
+    def test_snooping_footprint(self, dataset):
+        users = dataset.organization.user_ids()
+        snooper, target = users[2], users[3]
+        inj = inject_scenario4(dataset, snooper, target, start=START, seed=2)
+        assert inj.scenario == 4
+        opens = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(snooper, "file", day)
+            if e.file_id.startswith(f"F-{target}-")
+        ]
+        assert opens
+        big_emails = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(snooper, "email", day)
+            if e.size_bytes >= 100_000
+        ]
+        assert big_emails
+
+    def test_logons_on_target_pc(self, dataset):
+        users = dataset.organization.user_ids()
+        snooper, target = users[2], users[3]
+        inj = inject_scenario4(dataset, snooper, target, start=START, seed=2)
+        target_pc = dataset.profiles[target].own_pc
+        logons = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(snooper, "logon", day)
+            if e.pc == target_pc
+        ]
+        assert logons
+
+
+class TestScenario5:
+    def test_dropbox_uploads(self, dataset):
+        user = dataset.organization.user_ids()[4]
+        inj = inject_scenario5(dataset, user, start=START, seed=3)
+        assert inj.scenario == 5
+        uploads = [
+            e
+            for day in inj.labeled_days
+            for e in dataset.store.events(user, "http", day)
+            if e.activity == "upload" and e.domain == "dropbox.com"
+        ]
+        assert len(uploads) >= len(inj.labeled_days)
+
+    def test_distinct_internal_docs(self, dataset):
+        user = dataset.organization.user_ids()[4]
+        inj = inject_scenario5(dataset, user, start=START, seed=3)
+        docs = {
+            e.file_id
+            for day in inj.labeled_days
+            for e in dataset.store.events(user, "file", day)
+            if e.file_id.startswith("F-INTERNAL-")
+        }
+        assert len(docs) >= len(inj.labeled_days)
+
+    def test_working_days_only(self, dataset):
+        user = dataset.organization.user_ids()[4]
+        inj = inject_scenario5(dataset, user, start=START, seed=3)
+        assert all(dataset.calendar.is_working_day(d) for d in inj.labeled_days)
+
+
+class TestValidation:
+    def test_scenario_range(self):
+        with pytest.raises(ValueError):
+            ScenarioInjection(
+                user="u", scenario=6, start=START, end=START, labeled_days=(START,)
+            )

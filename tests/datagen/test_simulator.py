@@ -1,0 +1,117 @@
+"""CERT-style simulator behaviour tests (uses the shared tiny dataset)."""
+
+from datetime import date, timedelta
+
+import numpy as np
+import pytest
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import build_organization
+from repro.datagen.simulator import (
+    EnvironmentalChange,
+    simulate_cert_dataset,
+)
+from repro.utils.timeutil import WORKING_HOURS
+
+
+class TestDatasetShape:
+    def test_every_user_has_events(self, tiny_dataset, tiny_org):
+        assert tiny_dataset.store.users() == tiny_org.user_ids()
+
+    def test_all_log_types_present(self, tiny_dataset):
+        types = set(tiny_dataset.store.type_names())
+        assert {"logon", "file", "http", "email"} <= types
+
+    def test_events_within_calendar(self, tiny_dataset, tiny_calendar):
+        days = tiny_dataset.store.days()
+        assert days[0] >= tiny_calendar.start
+        assert days[-1] <= tiny_calendar.end
+
+    def test_no_injections_by_default(self, tiny_dataset):
+        assert tiny_dataset.abnormal_users == []
+        assert all(not v for v in tiny_dataset.labels().values())
+
+
+class TestReproducibility:
+    def test_same_seed_same_dataset(self, tiny_org, tiny_calendar):
+        a = simulate_cert_dataset(tiny_org, tiny_calendar, seed=5)
+        b = simulate_cert_dataset(tiny_org, tiny_calendar, seed=5)
+        assert a.store.count() == b.store.count()
+        user = tiny_org.user_ids()[0]
+        ev_a = a.store.events(user, "http")
+        ev_b = b.store.events(user, "http")
+        assert [e.timestamp for e in ev_a] == [e.timestamp for e in ev_b]
+
+    def test_different_seed_differs(self, tiny_org, tiny_calendar):
+        a = simulate_cert_dataset(tiny_org, tiny_calendar, seed=5)
+        b = simulate_cert_dataset(tiny_org, tiny_calendar, seed=6)
+        assert a.store.count() != b.store.count()
+
+
+class TestBehaviouralStructure:
+    def test_working_days_busier_than_weekends(self, tiny_dataset, tiny_calendar):
+        working = [d for d in tiny_calendar.days() if tiny_calendar.is_working_day(d)]
+        weekend = [d for d in tiny_calendar.days() if tiny_calendar.is_weekend(d)]
+        user = tiny_dataset.store.users()[0]
+
+        def daily(day_list):
+            return np.mean(
+                [len(tiny_dataset.store.events(user, "http", d)) for d in day_list]
+            )
+
+        assert daily(working) > 3 * daily(weekend)
+
+    def test_most_activity_in_working_hours(self, tiny_dataset):
+        user = tiny_dataset.store.users()[0]
+        events = tiny_dataset.store.events(user, "http")
+        in_hours = sum(WORKING_HOURS.contains(e.timestamp) for e in events)
+        assert in_hours / len(events) > 0.6
+
+    def test_non_device_users_have_no_device_events(self, tiny_dataset):
+        for user, profile in tiny_dataset.profiles.items():
+            if not profile.device_user:
+                assert len(tiny_dataset.store.events(user, "device")) == 0
+
+
+class TestEnvironmentalChange:
+    def test_new_service_reaches_most_users(self, tiny_org, tiny_calendar):
+        change = EnvironmentalChange(
+            start=date(2010, 3, 15),
+            duration_days=3,
+            kind="new_service",
+            domain="rollout.dtaa.com",
+            participation=1.0,
+        )
+        dataset = simulate_cert_dataset(
+            tiny_org, tiny_calendar, seed=5, environmental_changes=[change]
+        )
+        hit_users = 0
+        for user in dataset.store.users():
+            visits = [
+                e
+                for d in range(3)
+                for e in dataset.store.events(user, "http", date(2010, 3, 15) + timedelta(days=d))
+                if e.domain == "rollout.dtaa.com"
+            ]
+            if visits:
+                hit_users += 1
+        assert hit_users == len(tiny_org)
+
+    def test_active_on_window(self):
+        change = EnvironmentalChange(date(2010, 3, 15), 3, "outage", "x.com")
+        assert change.active_on(date(2010, 3, 15))
+        assert change.active_on(date(2010, 3, 17))
+        assert not change.active_on(date(2010, 3, 18))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvironmentalChange(date(2010, 1, 1), 0, "outage", "x.com")
+        with pytest.raises(ValueError):
+            EnvironmentalChange(date(2010, 1, 1), 2, "meteor", "x.com")
+        with pytest.raises(ValueError):
+            EnvironmentalChange(date(2010, 1, 1), 2, "outage", "x.com", participation=0.0)
+
+
+def test_missing_profile_raises(tiny_org, tiny_calendar):
+    with pytest.raises(ValueError, match="profiles missing"):
+        simulate_cert_dataset(tiny_org, tiny_calendar, seed=5, profiles={})

@@ -1,0 +1,101 @@
+"""Deeper structural assertions on the CERT simulator's output."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import build_organization
+from repro.datagen.simulator import simulate_cert_dataset
+from repro.features.cert import extract_cert_measurements
+
+
+@pytest.fixture(scope="module")
+def sim():
+    org = build_organization([10], seed=31)
+    cal = SimulationCalendar.with_default_holidays(date(2010, 2, 1), date(2010, 5, 30))
+    return simulate_cert_dataset(org, cal, seed=31), org, cal
+
+
+class TestBusyDayBurst:
+    def test_busy_days_carry_more_visits(self, sim):
+        dataset, org, cal = sim
+        busy = [d for d in cal.days() if cal.is_busy_day(d)]
+        ordinary = [
+            d for d in cal.days() if cal.is_working_day(d) and not cal.is_busy_day(d)
+        ]
+
+        def mean_visits(days):
+            counts = []
+            for user in org.user_ids():
+                for day in days:
+                    counts.append(
+                        sum(
+                            1
+                            for e in dataset.store.events(user, "http", day)
+                            if e.activity == "visit"
+                        )
+                    )
+            return np.mean(counts)
+
+        assert mean_visits(busy) > 1.25 * mean_visits(ordinary)
+
+    def test_busy_burst_is_group_correlated(self, sim):
+        """Most users rise together on a busy day -- the paper's FP trap."""
+        dataset, org, cal = sim
+        busy = [d for d in cal.days() if cal.is_busy_day(d)][:10]
+        ordinary = [
+            d for d in cal.days() if cal.is_working_day(d) and not cal.is_busy_day(d)
+        ][:10]
+        risers = 0
+        for user in org.user_ids():
+            busy_mean = np.mean(
+                [len(dataset.store.events(user, "http", d)) for d in busy]
+            )
+            ordinary_mean = np.mean(
+                [len(dataset.store.events(user, "http", d)) for d in ordinary]
+            )
+            if busy_mean > ordinary_mean:
+                risers += 1
+        assert risers >= 0.8 * len(org)
+
+
+class TestNoveltyDynamics:
+    def test_new_op_declines_after_warmup(self, sim):
+        """Habitual vocabularies get exhausted: novelty is front-loaded."""
+        dataset, org, cal = sim
+        cube = extract_cert_measurements(
+            dataset.store, org.user_ids(), cal.days()
+        )
+        f = cube.feature_set.index_of("http-new-op")
+        first_fortnight = cube.values[:, f, :, :14].sum()
+        last_fortnight = cube.values[:, f, :, -14:].sum()
+        assert first_fortnight > 1.5 * last_fortnight
+
+    def test_steady_state_novelty_nonzero(self, sim):
+        """Users keep discovering new domains at their habitual rate."""
+        dataset, org, cal = sim
+        cube = extract_cert_measurements(dataset.store, org.user_ids(), cal.days())
+        f = cube.feature_set.index_of("http-new-op")
+        assert cube.values[:, f, :, -14:].sum() > 0
+
+
+class TestOffHourAsymmetry:
+    def test_machine_noise_not_scaled_by_calendar(self, sim):
+        """update.dtaa.com traffic continues on weekends (machine-initiated)."""
+        dataset, org, cal = sim
+        weekends = [d for d in cal.days() if cal.is_weekend(d)]
+        hits = 0
+        for user in org.user_ids():
+            for day in weekends:
+                hits += sum(
+                    1
+                    for e in dataset.store.events(user, "http", day)
+                    if e.domain == "update.dtaa.com"
+                )
+        assert hits > 0
+
+    def test_emails_generated(self, sim):
+        dataset, org, _ = sim
+        assert any(dataset.store.events(u, "email") for u in org.user_ids())

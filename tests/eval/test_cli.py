@@ -1,0 +1,51 @@
+"""CLI tests (parser wiring and the fast subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(["simulate", "/tmp/x", "--scale", "small", "--seed", "9"])
+        assert args.command == "simulate"
+        assert args.output == "/tmp/x"
+        assert args.seed == 9
+
+    def test_detect_model_choices(self):
+        args = build_parser().parse_args(["detect", "--model", "base-ff"])
+        assert args.model == "base-ff"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--model", "transformer"])
+
+    def test_case_study_attacks(self):
+        args = build_parser().parse_args(["case-study", "zeus"])
+        assert args.attack == "zeus"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["case-study", "mirai"])
+
+
+class TestCommands:
+    def test_presets_runs(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "paper" in out and "512x256x128x64" in out
+
+    def test_simulate_writes_csvs(self, tmp_path, capsys):
+        # Tiny bespoke run: reuse the small preset but a different seed to
+        # keep it independent of the session-scoped benchmark fixture.
+        assert main(["simulate", str(tmp_path), "--scale", "small", "--no-injection", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "http.csv").exists()
+        assert (tmp_path / "logon.csv").exists()
+
+    def test_simulate_with_injection_reports_insiders(self, tmp_path, capsys):
+        assert main(["simulate", str(tmp_path), "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "injected insiders:" in out
+        assert (tmp_path / "device.csv").exists()

@@ -1,0 +1,206 @@
+"""Experiment-harness tests (configs, presets, benchmark assembly)."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.eval.experiments import (
+    CERT_DEFAULT,
+    CERT_PAPER,
+    CERT_SMALL,
+    CaseStudyConfig,
+    CertBenchmarkConfig,
+    case_study_config,
+    cert_config,
+)
+from repro.nn.autoencoder import AutoencoderConfig
+
+
+class TestCertConfig:
+    def test_presets_resolve(self):
+        assert cert_config("small") is CERT_SMALL
+        assert cert_config("default") is CERT_DEFAULT
+        assert cert_config("paper") is CERT_PAPER
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.delenv("ACOBE_BENCH_SCALE", raising=False)
+        assert cert_config() is CERT_DEFAULT
+        monkeypatch.setenv("ACOBE_BENCH_SCALE", "small")
+        assert cert_config() is CERT_SMALL
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            cert_config("galactic")
+
+    def test_paper_preset_matches_paper(self):
+        assert sum(CERT_PAPER.department_sizes) == 929
+        assert CERT_PAPER.window == 30
+        assert CERT_PAPER.autoencoder.encoder_units == (512, 256, 128, 64)
+
+    def test_dates(self):
+        cfg = CERT_SMALL
+        assert (cfg.end - cfg.start).days == cfg.n_days - 1
+        assert cfg.train_end == cfg.start + timedelta(days=cfg.train_end_offset)
+
+    def test_validation_train_end(self):
+        with pytest.raises(ValueError):
+            CertBenchmarkConfig(
+                name="x",
+                department_sizes=(4,),
+                n_days=50,
+                window=5,
+                matrix_days=5,
+                train_end_offset=49,
+                s1_start_offset=45,
+                s1_duration=3,
+                s2_start_offset=45,
+                s2_surf_days=3,
+                s2_exfil_days=2,
+                autoencoder=AutoencoderConfig(encoder_units=(4,)),
+            )
+
+    def test_validation_scenario_in_test_period(self):
+        with pytest.raises(ValueError, match="test period"):
+            CertBenchmarkConfig(
+                name="x",
+                department_sizes=(4,),
+                n_days=50,
+                window=5,
+                matrix_days=5,
+                train_end_offset=40,
+                s1_start_offset=10,  # inside training
+                s1_duration=3,
+                s2_start_offset=45,
+                s2_surf_days=3,
+                s2_exfil_days=2,
+                autoencoder=AutoencoderConfig(encoder_units=(4,)),
+            )
+
+
+class TestCaseStudyConfig:
+    def test_presets(self):
+        for attack in ("zeus", "wannacry"):
+            for scale in ("small", "default", "paper"):
+                cfg = case_study_config(attack, scale)
+                assert cfg.attack == attack
+                assert cfg.train_end < cfg.attack_day <= cfg.end
+
+    def test_paper_scale_population(self):
+        cfg = case_study_config("zeus", "paper")
+        assert cfg.n_employees == 246
+        assert cfg.window == 14  # two-week window per Section VI
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            case_study_config("zeus", "huge")
+
+    def test_unknown_attack(self):
+        with pytest.raises(ValueError):
+            CaseStudyConfig(
+                name="x",
+                attack="stuxnet",
+                n_employees=5,
+                n_days=60,
+                window=5,
+                matrix_days=5,
+                train_end_offset=40,
+                attack_day_offset=50,
+                autoencoder=AutoencoderConfig(encoder_units=(4,)),
+            )
+
+
+class TestBenchmarkAssembly:
+    def test_small_benchmark_structure(self, small_benchmark):
+        b = small_benchmark
+        assert len(b.cube.users) == sum(b.config.department_sizes)
+        # One victim per department, alternating scenarios.
+        assert len(b.abnormal_users) == len(b.config.department_sizes)
+        scenarios = sorted(i.scenario for i in b.dataset.injections)
+        assert scenarios == [1, 2]
+
+    def test_labels_match_injections(self, small_benchmark):
+        labels = small_benchmark.labels
+        assert sum(labels.values()) == len(small_benchmark.abnormal_users)
+
+    def test_split_covers_all_days(self, small_benchmark):
+        b = small_benchmark
+        assert len(b.train_days) + len(b.test_days) == b.config.n_days
+        assert max(b.train_days) < min(b.test_days)
+
+    def test_scenarios_fall_in_test_period(self, small_benchmark):
+        for inj in small_benchmark.dataset.injections:
+            assert inj.start > max(small_benchmark.train_days)
+
+    def test_group_map_matches_departments(self, small_benchmark):
+        b = small_benchmark
+        groups = set(b.group_map.values())
+        assert groups == set(b.dataset.organization.departments())
+
+    def test_coarse_cube_cached(self, small_benchmark):
+        coarse1 = small_benchmark.coarse_cube()
+        coarse2 = small_benchmark.coarse_cube()
+        assert coarse1 is coarse2
+        assert coarse1.n_timeframes == 24
+        assert coarse1.users == small_benchmark.cube.users
+
+
+class TestAggregations:
+    def make_run(self):
+        """Two aspects, three users, four days; u0 spikes in both aspects
+        on the same day, u1 spikes in different aspects on different days."""
+        import numpy as np
+        from datetime import date, timedelta
+
+        from repro.eval.experiments import ModelRun
+        from repro.core.critic import investigation_list
+
+        days = [date(2010, 1, 1) + timedelta(days=i) for i in range(4)]
+        users = ["u0", "u1", "u2"]
+        # Small distinct jitter everywhere so no two scores tie exactly.
+        a = np.array(
+            [
+                [0.10, 0.90, 0.11, 0.12],  # u0 spikes day 1
+                [0.13, 0.14, 0.90, 0.15],  # u1 spikes day 2 in aspect a
+                [0.16, 0.17, 0.18, 0.19],
+            ]
+        )
+        b = np.array(
+            [
+                [0.20, 0.90, 0.21, 0.22],  # u0 spikes day 1 too
+                [0.90, 0.23, 0.24, 0.25],  # u1 spikes day 0 in aspect b
+                [0.26, 0.27, 0.28, 0.29],
+            ]
+        )
+        scores = {"a": a, "b": b}
+        aspect_scores = {
+            aspect: {u: float(arr[i].max()) for i, u in enumerate(users)}
+            for aspect, arr in scores.items()
+        }
+        inv = investigation_list(aspect_scores, n_votes=2)
+        return ModelRun(name="x", users=users, test_days=days, scores=scores, investigation=inv)
+
+    def test_daily_rewards_same_day_coincidence(self):
+        from repro.eval.experiments import daily_min_priorities
+
+        run = self.make_run()
+        best = daily_min_priorities(run, n_votes=2)
+        # u0's spikes coincide -> daily priority 1; u1's never do.
+        assert best["u0"] == 1
+        assert best["u1"] > 1
+
+    def test_pooled_cannot_tell_them_apart(self):
+        run = self.make_run()
+        priorities = run.priorities
+        # Max-pooling sees both users spike in both aspects.
+        assert priorities["u0"] == priorities["u1"]
+
+    def test_evaluate_run_aggregation_modes(self):
+        from repro.eval.experiments import evaluate_run
+
+        run = self.make_run()
+        labels = {"u0": True, "u1": False, "u2": False}
+        pooled = evaluate_run(run, labels, aggregation="pooled")
+        daily = evaluate_run(run, labels, aggregation="daily", n_votes=2)
+        assert daily.auc >= pooled.auc
+        with pytest.raises(ValueError):
+            evaluate_run(run, labels, aggregation="weekly")

@@ -1,0 +1,185 @@
+"""ROC / PR / FP-count metric tests, including the paper's tie rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    auc,
+    average_precision,
+    confusion_at_budget,
+    CurvePoint,
+    f1_score,
+    fps_before_each_tp,
+    precision_recall_curve,
+    precision_recall_f1,
+    roc_curve,
+    worst_case_order,
+)
+
+
+@pytest.fixture
+def perfect():
+    """Both positives ranked strictly first."""
+    priorities = {"bad1": 1, "bad2": 2, "ok1": 3, "ok2": 4, "ok3": 5}
+    labels = {"bad1": True, "bad2": True, "ok1": False, "ok2": False, "ok3": False}
+    return priorities, labels
+
+
+@pytest.fixture
+def tied():
+    """A FP shares the positive's priority -> worst case puts FP first."""
+    priorities = {"bad": 5, "fp": 5, "ok": 9}
+    labels = {"bad": True, "fp": False, "ok": False}
+    return priorities, labels
+
+
+class TestWorstCaseOrder:
+    def test_ascending_priority(self, perfect):
+        priorities, labels = perfect
+        assert worst_case_order(priorities, labels)[:2] == ["bad1", "bad2"]
+
+    def test_fp_before_tp_on_tie(self, tied):
+        priorities, labels = tied
+        assert worst_case_order(priorities, labels) == ["fp", "bad", "ok"]
+
+    def test_population_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            worst_case_order({"a": 1}, {"b": True})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            worst_case_order({}, {})
+
+
+class TestRocCurve:
+    def test_perfect_roc(self, perfect):
+        priorities, labels = perfect
+        points = roc_curve(priorities, labels)
+        assert points[0] == CurvePoint(0.0, 0.0)
+        assert points[-1] == CurvePoint(1.0, 1.0)
+        assert auc(points) == pytest.approx(1.0)
+
+    def test_worst_roc(self):
+        priorities = {"ok1": 1, "ok2": 2, "bad": 3}
+        labels = {"ok1": False, "ok2": False, "bad": True}
+        assert auc(roc_curve(priorities, labels)) == pytest.approx(0.0)
+
+    def test_tie_costs_auc(self, tied):
+        priorities, labels = tied
+        # FP first: curve goes right before up -> AUC = 1 * 1/2 area lost.
+        assert auc(roc_curve(priorities, labels)) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve({"a": 1}, {"a": True})
+
+    def test_auc_needs_two_points(self):
+        with pytest.raises(ValueError):
+            auc([CurvePoint(0, 0)])
+
+    def test_auc_rejects_decreasing_x(self):
+        with pytest.raises(ValueError):
+            auc([CurvePoint(0.5, 0), CurvePoint(0.2, 1)])
+
+
+class TestPrCurve:
+    def test_perfect_pr(self, perfect):
+        priorities, labels = perfect
+        points = precision_recall_curve(priorities, labels)
+        assert all(p.y == 1.0 for p in points)
+        assert average_precision(priorities, labels) == pytest.approx(1.0)
+
+    def test_tied_pr(self, tied):
+        priorities, labels = tied
+        points = precision_recall_curve(priorities, labels)
+        # Single positive found at position 2 -> precision 1/2 at recall 1.
+        assert points[-1] == CurvePoint(1.0, 0.5)
+        assert average_precision(priorities, labels) == pytest.approx(0.5)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve({"a": 1}, {"a": False})
+
+
+class TestFpsBeforeTps:
+    def test_paper_style_counts(self, perfect):
+        priorities, labels = perfect
+        assert fps_before_each_tp(priorities, labels) == [0, 0]
+
+    def test_with_interleaved_fps(self):
+        priorities = {"fp1": 1, "tp1": 2, "fp2": 3, "fp3": 4, "tp2": 5}
+        labels = {"fp1": False, "tp1": True, "fp2": False, "fp3": False, "tp2": True}
+        assert fps_before_each_tp(priorities, labels) == [1, 3]
+
+
+class TestConfusionAndF1:
+    def test_confusion_at_budget(self, perfect):
+        priorities, labels = perfect
+        c = confusion_at_budget(priorities, labels, budget=2)
+        assert c == {"tp": 2, "fp": 0, "tn": 3, "fn": 0}
+
+    def test_budget_zero(self, perfect):
+        priorities, labels = perfect
+        c = confusion_at_budget(priorities, labels, budget=0)
+        assert c["tp"] == 0 and c["fn"] == 2
+
+    def test_negative_budget_raises(self, perfect):
+        priorities, labels = perfect
+        with pytest.raises(ValueError):
+            confusion_at_budget(priorities, labels, budget=-1)
+
+    def test_f1_perfect(self, perfect):
+        priorities, labels = perfect
+        assert f1_score(priorities, labels, budget=2) == pytest.approx(1.0)
+
+    def test_precision_recall_f1_zero_division(self):
+        assert precision_recall_f1({"tp": 0, "fp": 0, "fn": 0, "tn": 5}) == (0.0, 0.0, 0.0)
+
+
+@st.composite
+def populations(draw):
+    n = draw(st.integers(min_value=3, max_value=30))
+    labels = {}
+    priorities = {}
+    for i in range(n):
+        user = f"u{i}"
+        labels[user] = draw(st.booleans())
+        priorities[user] = draw(st.integers(min_value=1, max_value=10))
+    # Ensure both classes exist.
+    labels["u0"] = True
+    labels["u1"] = False
+    return priorities, labels
+
+
+class TestProperties:
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_auc_in_unit_interval(self, pop):
+        priorities, labels = pop
+        value = auc(roc_curve(priorities, labels))
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_roc_monotone(self, pop):
+        priorities, labels = pop
+        points = roc_curve(priorities, labels)
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_fps_counts_non_decreasing(self, pop):
+        priorities, labels = pop
+        counts = fps_before_each_tp(priorities, labels)
+        assert counts == sorted(counts)
+        assert len(counts) == sum(labels.values())
+
+    @given(populations())
+    @settings(max_examples=50, deadline=None)
+    def test_ap_in_unit_interval(self, pop):
+        priorities, labels = pop
+        assert 0.0 < average_precision(priorities, labels) <= 1.0

@@ -1,0 +1,105 @@
+"""Plain-text reporting helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import CurvePoint
+from repro.eval.reporting import curve_table, format_table, heatmap, sparkline, trend_panel
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+        assert "long-name" in lines[3]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["x"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(list(range(9)))
+        assert line == "".join(sorted(line))
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_explicit_bounds(self):
+        line = sparkline([0.5], lo=0.0, hi=1.0)
+        assert len(line) == 1
+
+
+class TestHeatmap:
+    def test_shape(self):
+        text = heatmap(np.zeros((3, 10)))
+        assert len(text.splitlines()) == 3
+
+    def test_labels(self):
+        text = heatmap(np.zeros((2, 4)), row_labels=["aa", "b"])
+        lines = text.splitlines()
+        assert lines[0].startswith("aa |")
+        assert lines[1].startswith(" b |")
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 4)), row_labels=["only-one"])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(4))
+
+    def test_extremes_use_extreme_glyphs(self):
+        text = heatmap(np.array([[0.0, 1.0]]), lo=0.0, hi=1.0)
+        row = text.splitlines()[0]
+        assert row[1] == " " and row[2] == "@"
+
+
+class TestCurveTable:
+    def test_subsamples_long_curves(self):
+        points = [CurvePoint(i / 100, i / 100) for i in range(101)]
+        text = curve_table(points, max_rows=10)
+        assert len(text.splitlines()) <= 16
+        assert "1.0000" in text  # final point kept
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            curve_table([])
+
+
+class TestTrendPanel:
+    def test_contains_highlight_and_stats(self):
+        scores = np.random.default_rng(0).random((5, 20))
+        users = [f"u{i}" for i in range(5)]
+        text = trend_panel(scores, users, "u2", title="demo")
+        assert "demo" in text
+        assert "u2 (abnormal)" in text
+        assert "mean=" in text and "std=" in text
+
+    def test_background_limit(self):
+        scores = np.random.default_rng(0).random((30, 5))
+        users = [f"u{i}" for i in range(30)]
+        text = trend_panel(scores, users, "u0", max_background=3)
+        assert len(text.splitlines()) == 1 + 1 + 3  # stats + highlight + 3 bg
+
+    def test_unknown_user_raises(self):
+        with pytest.raises(ValueError):
+            trend_panel(np.zeros((2, 3)), ["a", "b"], "zz")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            trend_panel(np.zeros((2, 3)), ["a"], "a")

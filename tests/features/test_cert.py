@@ -1,0 +1,152 @@
+"""CERT feature extraction tests: novelty semantics and counting."""
+
+from datetime import date, datetime
+
+import numpy as np
+import pytest
+
+from repro.features.cert import (
+    CERT_ASPECTS,
+    extract_baseline_measurements,
+    extract_cert_measurements,
+)
+from repro.logs.schema import DeviceEvent, FileEvent, HttpEvent, LogonEvent
+from repro.logs.store import LogStore
+
+D1, D2, D3 = date(2010, 1, 4), date(2010, 1, 5), date(2010, 1, 6)
+
+
+def ts(day, hour=10):
+    return datetime(day.year, day.month, day.day, hour)
+
+
+@pytest.fixture
+def store():
+    s = LogStore()
+    s.extend(
+        [
+            # Day 1: two connects to PC-A (both new on day 1), one upload.
+            DeviceEvent(ts(D1), "u", "connect", "PC-A"),
+            DeviceEvent(ts(D1, 11), "u", "connect", "PC-A"),
+            HttpEvent(ts(D1), "u", "upload", "a.com", filetype="doc"),
+            # Day 2: connect to PC-A (now known) and PC-B (new); repeat
+            # upload to a.com (known) and upload to b.com (new pair).
+            DeviceEvent(ts(D2), "u", "connect", "PC-A"),
+            DeviceEvent(ts(D2, 20), "u", "connect", "PC-B"),
+            HttpEvent(ts(D2), "u", "upload", "a.com", filetype="doc"),
+            HttpEvent(ts(D2, 11), "u", "upload", "b.com", filetype="doc"),
+            # Day 3: visit to a.com is a new (visit, a.com) pair.
+            HttpEvent(ts(D3), "u", "visit", "a.com"),
+            # File ops: open F1 twice on day 1, open F1 again day 2 (known),
+            # write F1 day 2 (new pair), copy F1 r->l day 3 (new pair).
+            FileEvent(ts(D1), "u", "open", "F1", from_location="local"),
+            FileEvent(ts(D1, 14), "u", "open", "F1", from_location="local"),
+            FileEvent(ts(D2), "u", "open", "F1", from_location="local"),
+            FileEvent(ts(D2), "u", "write", "F1", to_location="remote"),
+            FileEvent(ts(D3), "u", "copy", "F1", from_location="remote", to_location="local"),
+        ]
+    )
+    s.sort()
+    return s
+
+
+@pytest.fixture
+def cube(store):
+    return extract_cert_measurements(store, ["u"], [D1, D2, D3])
+
+
+class TestDeviceFeatures:
+    def test_connect_is_raw_count(self, cube):
+        np.testing.assert_array_equal(cube.feature_series("u", "device-connect", 0), [2, 1, 0])
+
+    def test_new_host_counts_first_day_repeats(self, cube):
+        # Both day-1 connects hit a host unseen before day 1 -> both count.
+        assert cube.feature_series("u", "device-new-host", 0)[0] == 2
+
+    def test_known_host_not_new(self, cube):
+        # Day 2 working-hours connect to PC-A is not new; PC-B (off hours) is.
+        assert cube.feature_series("u", "device-new-host", 0)[1] == 0
+        assert cube.feature_series("u", "device-new-host", 1)[1] == 1
+
+
+class TestFileNoveltyFeatures:
+    def test_open_counts_only_new_pairs(self, cube):
+        # Day 1: both opens of F1 are new-pair ops; day 2 open is known.
+        np.testing.assert_array_equal(
+            cube.feature_series("u", "file-open-from-local", 0), [2, 0, 0]
+        )
+
+    def test_write_new_pair_on_day2(self, cube):
+        np.testing.assert_array_equal(
+            cube.feature_series("u", "file-write-to-remote", 0), [0, 1, 0]
+        )
+
+    def test_copy_new_pair_on_day3(self, cube):
+        np.testing.assert_array_equal(
+            cube.feature_series("u", "file-copy-remote-to-local", 0), [0, 0, 1]
+        )
+
+    def test_new_op_uses_activity_keys(self, cube):
+        # (open,F1) new day1 (twice), (write,F1) new day2, (copy,F1) new day3.
+        np.testing.assert_array_equal(cube.feature_series("u", "file-new-op", 0), [2, 1, 1])
+
+
+class TestHttpNoveltyFeatures:
+    def test_upload_doc_new_pairs_only(self, cube):
+        # Day1: (doc,a.com) new. Day2: a.com known, b.com new.
+        np.testing.assert_array_equal(cube.feature_series("u", "http-upload-doc", 0), [1, 1, 0])
+
+    def test_new_op_counts_visits_too(self, cube):
+        # Day1: (upload,a.com). Day2: (upload,b.com). Day3: (visit,a.com).
+        np.testing.assert_array_equal(cube.feature_series("u", "http-new-op", 0), [1, 1, 1])
+
+
+class TestCubeStructure:
+    def test_aspects(self, cube):
+        assert cube.feature_set.aspect_names == ["device", "file", "http"]
+        assert len(cube.feature_set) == 16
+
+    def test_users_without_events_are_zero(self, store):
+        cube = extract_cert_measurements(store, ["u", "ghost"], [D1, D2, D3])
+        assert cube.user_slice("ghost").sum() == 0
+
+    def test_days_sorted_internally(self, store):
+        cube = extract_cert_measurements(store, ["u"], [D3, D1, D2])
+        assert cube.days == [D1, D2, D3]
+
+    def test_total_feature_count_matches_paper(self):
+        n = sum(len(a.features) for a in CERT_ASPECTS)
+        assert n == 16  # 2 device + 7 file + 7 http
+
+
+class TestBaselineFeatures:
+    def test_counts_per_hour_frame(self):
+        s = LogStore()
+        s.extend(
+            [
+                LogonEvent(ts(D1, 9), "u", "logon", "PC"),
+                LogonEvent(ts(D1, 9), "u", "logon", "PC"),
+                LogonEvent(ts(D1, 17), "u", "logoff", "PC"),
+                HttpEvent(ts(D1, 9), "u", "visit", "a.com"),
+            ]
+        )
+        cube = extract_baseline_measurements(s, ["u"], [D1])
+        assert cube.n_timeframes == 24
+        assert cube.values[0, cube.feature_set.index_of("logon"), 9, 0] == 2
+        assert cube.values[0, cube.feature_set.index_of("logoff"), 17, 0] == 1
+        assert cube.values[0, cube.feature_set.index_of("visit"), 9, 0] == 1
+
+    def test_baseline_has_four_aspects(self):
+        s = LogStore()
+        s.append(LogonEvent(ts(D1), "u", "logon", "PC"))
+        cube = extract_baseline_measurements(s, ["u"], [D1])
+        assert cube.feature_set.aspect_names == ["device", "file", "http", "logon"]
+
+    def test_baseline_counts_repeats(self):
+        """Unlike ACOBE's novelty features, baseline counts every event."""
+        s = LogStore()
+        for hour in (9, 10, 11):
+            s.append(HttpEvent(ts(D1, hour), "u", "upload", "same.com", filetype="doc"))
+        cube = extract_baseline_measurements(s, ["u"], [D1])
+        total = cube.values[0, cube.feature_set.index_of("upload")].sum()
+        assert total == 3

@@ -1,0 +1,130 @@
+"""Enterprise feature extraction tests."""
+
+from datetime import date, datetime
+
+import numpy as np
+import pytest
+
+from repro.features.enterprise import ENTERPRISE_ASPECTS, extract_enterprise_measurements
+from repro.logs.schema import (
+    DnsEvent,
+    LogonEvent,
+    ProxyEvent,
+    SysmonEvent,
+    WindowsEvent,
+)
+from repro.logs.store import LogStore
+
+D1, D2 = date(2021, 7, 5), date(2021, 7, 6)
+
+
+def ts(day, hour=10):
+    return datetime(day.year, day.month, day.day, hour)
+
+
+@pytest.fixture
+def store():
+    s = LogStore()
+    s.extend(
+        [
+            # File aspect: two writes to the same target, one to another.
+            SysmonEvent(ts(D1), "u", 11, image="w.exe", target="doc1"),
+            SysmonEvent(ts(D1, 11), "u", 11, image="w.exe", target="doc1"),
+            SysmonEvent(ts(D1, 12), "u", 11, image="w.exe", target="doc2"),
+            # Day 2: doc1 known, doc3 new; plus a security-audit file event.
+            SysmonEvent(ts(D2), "u", 11, image="w.exe", target="doc1"),
+            WindowsEvent(ts(D2), "u", 4663, detail="doc3"),
+            # Command aspect: one process creation.
+            SysmonEvent(ts(D1), "u", 1, image="cmd.exe"),
+            # Config aspect: registry modification.
+            SysmonEvent(ts(D1), "u", 13, image="m.exe", target="HKCU\\X"),
+            # HTTP: 2 successes (one domain new), 1 failure to new domain.
+            ProxyEvent(ts(D1), "u", "a.com", "/", "success", bytes_out=2048),
+            ProxyEvent(ts(D1, 11), "u", "a.com", "/", "success"),
+            ProxyEvent(ts(D1, 12), "u", "bad.com", "/", "failure"),
+            ProxyEvent(ts(D2), "u", "a.com", "/", "success"),
+            DnsEvent(ts(D1), "u", "nx.example", resolved=False),
+            DnsEvent(ts(D1), "u", "ok.example", resolved=True),
+            # Logon: one working-hours, one off-hours, one logoff.
+            LogonEvent(ts(D1, 9), "u", "logon", "WS-1"),
+            LogonEvent(ts(D1, 22), "u", "logon", "WS-1"),
+            LogonEvent(ts(D1, 17), "u", "logoff", "WS-1"),
+        ]
+    )
+    s.sort()
+    return s
+
+
+@pytest.fixture
+def cube(store):
+    return extract_enterprise_measurements(store, ["u"], [D1, D2])
+
+
+class TestAspectInventory:
+    def test_27_features_across_6_aspects(self):
+        assert len(ENTERPRISE_ASPECTS) == 6
+        total = sum(len(a.features) for a in ENTERPRISE_ASPECTS)
+        assert total == 27
+        predictable = [a for a in ENTERPRISE_ASPECTS if a.name in ("file", "command", "config", "resource")]
+        assert sum(len(a.features) for a in predictable) == 16
+
+
+class TestPredictableAspects:
+    def test_file_event_count(self, cube):
+        np.testing.assert_array_equal(cube.feature_series("u", "file-events", 0), [3, 2])
+
+    def test_file_unique_pairs(self, cube):
+        # Day 1: (11,doc1) and (11,doc2) -> 2 unique.
+        np.testing.assert_array_equal(cube.feature_series("u", "file-unique", 0), [2, 2])
+
+    def test_file_new_pairs(self, cube):
+        # Day 1: all 3 events hit never-seen pairs (doc1 twice counts twice).
+        # Day 2: doc1 known, (4663,doc3) new.
+        np.testing.assert_array_equal(cube.feature_series("u", "file-new", 0), [3, 1])
+
+    def test_command_and_config_counted(self, cube):
+        assert cube.feature_series("u", "command-events", 0)[0] == 1
+        assert cube.feature_series("u", "config-events", 0)[0] == 1
+
+
+class TestHttpAspect:
+    def test_success_and_failure_counts(self, cube):
+        np.testing.assert_array_equal(cube.feature_series("u", "http-success", 0), [2, 1])
+        np.testing.assert_array_equal(cube.feature_series("u", "http-failure", 0), [1, 0])
+
+    def test_new_domain_flags(self, cube):
+        # a.com new on day 1 (both successes count, pair-novelty is by domain
+        # and both hit an unseen domain that day); bad.com new failure.
+        assert cube.feature_series("u", "http-success-new-domain", 0)[0] == 2
+        assert cube.feature_series("u", "http-failure-new-domain", 0)[0] == 1
+        # Day 2: a.com known.
+        assert cube.feature_series("u", "http-success-new-domain", 0)[1] == 0
+
+    def test_distinct_domains(self, cube):
+        np.testing.assert_array_equal(cube.feature_series("u", "http-distinct-domains", 0), [2, 1])
+
+    def test_kb_out(self, cube):
+        assert cube.feature_series("u", "http-kb-out", 0)[0] == pytest.approx(2.0)
+
+    def test_nxdomain(self, cube):
+        np.testing.assert_array_equal(cube.feature_series("u", "http-nxdomain", 0), [1, 0])
+
+
+class TestLogonAspect:
+    def test_success_counts_per_frame(self, cube):
+        assert cube.feature_series("u", "logon-success", 0)[0] == 1  # working hours
+        assert cube.feature_series("u", "logon-success", 1)[0] == 1  # off hours
+
+    def test_off_hours_flag(self, cube):
+        assert cube.feature_series("u", "logon-off-hours", 1)[0] == 1
+        assert cube.feature_series("u", "logon-off-hours", 0)[0] == 0
+
+    def test_new_pc_only_first_day(self, cube):
+        day1_total = cube.feature_series("u", "logon-new-pc", 0)[0] + cube.feature_series(
+            "u", "logon-new-pc", 1
+        )[0]
+        assert day1_total == 2  # both day-1 logons hit a not-yet-seen PC
+        assert cube.feature_series("u", "logon-new-pc", 0)[1] == 0
+
+    def test_logoff(self, cube):
+        assert cube.feature_series("u", "logon-logoff", 0)[0] == 1

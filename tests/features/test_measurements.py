@@ -1,0 +1,142 @@
+"""MeasurementCube container tests."""
+
+from datetime import date, timedelta
+
+import numpy as np
+import pytest
+
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+from repro.utils.timeutil import TWO_TIMEFRAMES
+
+
+def make_cube(n_users=3, n_days=5):
+    fs = FeatureSet(
+        [
+            AspectSpec("a", (FeatureSpec("a1", "a"), FeatureSpec("a2", "a"))),
+            AspectSpec("b", (FeatureSpec("b1", "b"),)),
+        ]
+    )
+    users = [f"u{i}" for i in range(n_users)]
+    days = [date(2010, 1, 1) + timedelta(days=i) for i in range(n_days)]
+    values = np.arange(n_users * 3 * 2 * n_days, dtype=float).reshape(n_users, 3, 2, n_days)
+    return MeasurementCube(values, users, fs, TWO_TIMEFRAMES, days)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        cube = make_cube()
+        with pytest.raises(ValueError):
+            MeasurementCube(
+                cube.values[:, :2], cube.users, cube.feature_set, cube.timeframes, cube.days
+            )
+
+    def test_duplicate_users(self):
+        cube = make_cube()
+        with pytest.raises(ValueError):
+            MeasurementCube(
+                cube.values, ["u0", "u0", "u2"], cube.feature_set, cube.timeframes, cube.days
+            )
+
+    def test_unsorted_days(self):
+        cube = make_cube()
+        with pytest.raises(ValueError):
+            MeasurementCube(
+                cube.values,
+                cube.users,
+                cube.feature_set,
+                cube.timeframes,
+                list(reversed(cube.days)),
+            )
+
+
+class TestAccess:
+    def test_indices(self):
+        cube = make_cube()
+        assert cube.user_index("u1") == 1
+        assert cube.day_index(date(2010, 1, 3)) == 2
+        with pytest.raises(KeyError):
+            cube.user_index("nope")
+        with pytest.raises(KeyError):
+            cube.day_index(date(2011, 1, 1))
+
+    def test_user_slice(self):
+        cube = make_cube()
+        np.testing.assert_array_equal(cube.user_slice("u2"), cube.values[2])
+
+    def test_feature_series(self):
+        cube = make_cube()
+        series = cube.feature_series("u0", "b1", 1)
+        np.testing.assert_array_equal(series, cube.values[0, 2, 1])
+
+    def test_select_aspect(self):
+        cube = make_cube()
+        sub = cube.select_aspect("a")
+        assert sub.n_features == 2
+        assert sub.feature_set.feature_names == ["a1", "a2"]
+        np.testing.assert_array_equal(sub.values, cube.values[:, :2])
+        # The selection copies: mutating it must not touch the original.
+        sub.values[:] = -1
+        assert cube.values.min() >= 0
+
+    def test_group_mean(self):
+        cube = make_cube()
+        mean = cube.group_mean(["u0", "u2"])
+        np.testing.assert_allclose(mean, (cube.values[0] + cube.values[2]) / 2)
+
+    def test_group_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            make_cube().group_mean([])
+
+    def test_dims(self):
+        cube = make_cube(4, 6)
+        assert cube.n_users == 4
+        assert cube.n_features == 3
+        assert cube.n_timeframes == 2
+        assert cube.n_days == 6
+
+
+class TestConcatCubes:
+    def test_concatenates_features(self):
+        from repro.features.measurements import concat_cubes
+
+        a = make_cube()
+        fs = FeatureSet([AspectSpec("c", (FeatureSpec("c1", "c"),))])
+        b = MeasurementCube(
+            np.ones((3, 1, 2, 5)), a.users, fs, a.timeframes, a.days
+        )
+        merged = concat_cubes([a, b])
+        assert merged.n_features == 4
+        assert merged.feature_set.aspect_names == ["a", "b", "c"]
+        np.testing.assert_array_equal(merged.values[:, :3], a.values)
+        np.testing.assert_array_equal(merged.values[:, 3:], b.values)
+
+    def test_single_cube_passthrough(self):
+        from repro.features.measurements import concat_cubes
+
+        a = make_cube()
+        assert concat_cubes([a]) is a
+
+    def test_rejects_user_mismatch(self):
+        from repro.features.measurements import concat_cubes
+
+        a = make_cube()
+        fs = FeatureSet([AspectSpec("c", (FeatureSpec("c1", "c"),))])
+        b = MeasurementCube(
+            np.ones((3, 1, 2, 5)), ["x0", "x1", "x2"], fs, a.timeframes, a.days
+        )
+        with pytest.raises(ValueError, match="users"):
+            concat_cubes([a, b])
+
+    def test_rejects_duplicate_aspect_names(self):
+        from repro.features.measurements import concat_cubes
+
+        a = make_cube()
+        with pytest.raises(ValueError):
+            concat_cubes([a, a])
+
+    def test_rejects_empty(self):
+        from repro.features.measurements import concat_cubes
+
+        with pytest.raises(ValueError):
+            concat_cubes([])

@@ -1,0 +1,108 @@
+"""Markov sequence-model and sequence-feature tests."""
+
+from datetime import date, datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.sequence import (
+    SEQUENCE_ASPECTS,
+    MarkovSequenceModel,
+    extract_sequence_surprise,
+)
+from repro.logs.schema import SysmonEvent
+from repro.logs.store import LogStore
+
+
+class TestMarkovModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovSequenceModel(order=0)
+        with pytest.raises(ValueError):
+            MarkovSequenceModel(smoothing=0)
+        with pytest.raises(ValueError):
+            MarkovSequenceModel(top_g=0)
+
+    def test_learns_deterministic_chain(self):
+        model = MarkovSequenceModel(order=1, top_g=1)
+        model.fit([["a", "b", "c"] * 20])
+        assert model.top_predictions(("a",)) == ["b"]
+        assert model.top_predictions(("b",)) == ["c"]
+
+    def test_surprise_lower_for_seen_patterns(self):
+        model = MarkovSequenceModel(order=1)
+        model.fit([["a", "b"] * 50])
+        assert model.surprise(["a", "b", "a", "b"]) < model.surprise(["b", "a", "a", "a"])
+
+    def test_unexpected_fraction_bounds(self):
+        model = MarkovSequenceModel(order=1, top_g=1)
+        model.fit([["a", "b"] * 50])
+        assert model.unexpected_fraction(["a", "b", "a", "b"]) == 0.0
+        assert model.unexpected_fraction(["z", "z", "z"]) == 1.0
+
+    def test_empty_sequence_scores_zero(self):
+        model = MarkovSequenceModel()
+        model.fit([["a", "b"]])
+        assert model.surprise([]) == 0.0
+        assert model.unexpected_fraction([]) == 0.0
+
+    def test_probabilities_sum_below_one_with_smoothing(self):
+        model = MarkovSequenceModel(order=1)
+        model.fit([["a", "b", "a", "c"]])
+        total = sum(model.probability(("a",), s) for s in ["a", "b", "c"])
+        assert 0.0 < total <= 1.0
+
+    def test_online_update(self):
+        model = MarkovSequenceModel(order=1, top_g=1)
+        model.update(["a", "b"] * 10)
+        before = model.surprise(["a", "c"])
+        model.update(["a", "c"] * 10)
+        after = model.surprise(["a", "c"])
+        assert after < before
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_surprise_non_negative(self, seq):
+        model = MarkovSequenceModel(order=1)
+        model.fit([["a", "b", "c", "a"]])
+        assert model.surprise(seq) >= 0.0
+
+
+class TestExtractSequenceSurprise:
+    @pytest.fixture
+    def store(self):
+        s = LogStore()
+        days = [date(2021, 7, 5) + timedelta(days=i) for i in range(12)]
+        # Habitual pattern every day; the last day is chaotic. The ids mix
+        # command-group (1, 4104, 4688) and file-group (11, 2) events.
+        for d, day in enumerate(days):
+            pattern = [1, 11, 11] * 5 if d < 11 else [4104, 1, 4104, 11, 4688, 2]
+            for i, event_id in enumerate(pattern):
+                ts = datetime(day.year, day.month, day.day, 10, i)
+                s.append(SysmonEvent(ts, "u", event_id, image="x.exe", target="t"))
+        s.sort()
+        return s, days
+
+    def test_cube_shape_and_aspects(self, store):
+        s, days = store
+        cube = extract_sequence_surprise(s, ["u"], days, train_days=days[:8])
+        assert sorted(cube.feature_set.aspect_names) == ["command-seq", "file-seq"]
+        assert cube.values.shape[1] == 4
+
+    def test_chaotic_day_scores_higher(self, store):
+        s, days = store
+        cube = extract_sequence_surprise(s, ["u"], days, train_days=days[:8])
+        surprise = cube.feature_series("u", "command-seq-surprise", 0)
+        assert surprise[-1] > surprise[:8].max()
+
+    def test_user_without_events_zero(self, store):
+        s, days = store
+        cube = extract_sequence_surprise(s, ["u", "ghost"], days, train_days=days[:8])
+        assert cube.user_slice("ghost").sum() == 0
+
+    def test_aspect_inventory(self):
+        assert len(SEQUENCE_ASPECTS) == 2
+        for aspect in SEQUENCE_ASPECTS:
+            assert len(aspect.features) == 2

@@ -1,0 +1,69 @@
+"""Feature/aspect spec tests."""
+
+import pytest
+
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+
+
+def aspect(name, *features):
+    return AspectSpec(name, tuple(FeatureSpec(f, name) for f in features))
+
+
+class TestSpecs:
+    def test_feature_requires_name_and_aspect(self):
+        with pytest.raises(ValueError):
+            FeatureSpec("", "a")
+        with pytest.raises(ValueError):
+            FeatureSpec("f", "")
+
+    def test_aspect_rejects_foreign_features(self):
+        with pytest.raises(ValueError):
+            AspectSpec("a", (FeatureSpec("f", "b"),))
+
+    def test_aspect_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            AspectSpec("a", (FeatureSpec("f", "a"), FeatureSpec("f", "a")))
+
+    def test_aspect_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AspectSpec("a", ())
+
+    def test_feature_names(self):
+        a = aspect("a", "x", "y")
+        assert a.feature_names == ["x", "y"]
+
+
+class TestFeatureSet:
+    @pytest.fixture
+    def feature_set(self):
+        return FeatureSet([aspect("one", "a", "b"), aspect("two", "c")])
+
+    def test_len_and_order(self, feature_set):
+        assert len(feature_set) == 3
+        assert feature_set.feature_names == ["a", "b", "c"]
+
+    def test_index_of(self, feature_set):
+        assert feature_set.index_of("c") == 2
+        with pytest.raises(KeyError):
+            feature_set.index_of("z")
+
+    def test_aspect_lookup(self, feature_set):
+        assert feature_set.aspect("two").feature_names == ["c"]
+        with pytest.raises(KeyError):
+            feature_set.aspect("three")
+
+    def test_aspect_indices(self, feature_set):
+        assert feature_set.aspect_indices("one") == [0, 1]
+        assert feature_set.aspect_indices("two") == [2]
+
+    def test_rejects_duplicate_aspects(self):
+        with pytest.raises(ValueError):
+            FeatureSet([aspect("a", "x"), aspect("a", "y")])
+
+    def test_rejects_cross_aspect_duplicate_features(self):
+        with pytest.raises(ValueError):
+            FeatureSet([aspect("a", "x"), aspect("b", "x")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FeatureSet([])

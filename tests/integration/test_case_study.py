@@ -1,0 +1,79 @@
+"""End-to-end case-study tests (Section VI shape at test scale)."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.eval.experiments import build_case_study, case_study_config, run_case_study
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def zeus_result():
+    benchmark = build_case_study(case_study_config("zeus", scale="small"))
+    return run_case_study(benchmark)
+
+
+@pytest.fixture(scope="module")
+def wannacry_result():
+    benchmark = build_case_study(case_study_config("wannacry", scale="small"))
+    return run_case_study(benchmark)
+
+
+class TestZeusCaseStudy:
+    def test_victim_reaches_rank_one_after_activation(self, zeus_result):
+        cfg = zeus_result.benchmark.config
+        rank_one = zeus_result.days_at_rank_one()
+        assert rank_one, "victim never topped the investigation list"
+        assert min(rank_one) >= cfg.attack_day
+
+    def test_victim_not_top_before_attack(self, zeus_result):
+        cfg = zeus_result.benchmark.config
+        pre_attack = {
+            d: r for d, r in zeus_result.daily_rank.items() if d < cfg.attack_day
+        }
+        assert pre_attack, "need pre-attack scoring days"
+        assert min(pre_attack.values()) > 1
+
+    def test_http_aspect_rises_after_activation(self, zeus_result):
+        """DGA NXDOMAIN floods hit the HTTP aspect days after infection."""
+        run = zeus_result.run
+        cfg = zeus_result.benchmark.config
+        victim = zeus_result.benchmark.victim
+        trend = run.score_trend("http", victim)
+        active_start = cfg.attack_day + timedelta(days=2)
+        before = [s for d, s in zip(run.test_days, trend) if d < cfg.attack_day]
+        after = [s for d, s in zip(run.test_days, trend) if d >= active_start]
+        assert max(after) > 1.5 * max(before)
+
+    def test_config_aspect_rises_on_attack_day_window(self, zeus_result):
+        run = zeus_result.run
+        cfg = zeus_result.benchmark.config
+        victim = zeus_result.benchmark.victim
+        trend = run.score_trend("config", victim)
+        before = [s for d, s in zip(run.test_days, trend) if d < cfg.attack_day]
+        after = [s for d, s in zip(run.test_days, trend) if d >= cfg.attack_day]
+        assert max(after) > max(before)
+
+
+class TestWannaCryCaseStudy:
+    def test_victim_reaches_rank_one(self, wannacry_result):
+        cfg = wannacry_result.benchmark.config
+        rank_one = wannacry_result.days_at_rank_one()
+        assert rank_one
+        assert min(rank_one) >= cfg.attack_day
+
+    def test_file_aspect_rises(self, wannacry_result):
+        """Mass encryption shows up as File-aspect deviations."""
+        run = wannacry_result.run
+        cfg = wannacry_result.benchmark.config
+        victim = wannacry_result.benchmark.victim
+        trend = run.score_trend("file", victim)
+        before = [s for d, s in zip(run.test_days, trend) if d < cfg.attack_day]
+        after = [s for d, s in zip(run.test_days, trend) if d >= cfg.attack_day]
+        assert max(after) > 1.15 * max(before)
+
+    def test_all_users_ranked_every_day(self, wannacry_result):
+        n_users = len(wannacry_result.run.users)
+        assert all(1 <= r <= n_users for r in wannacry_result.daily_rank.values())

@@ -1,0 +1,23 @@
+"""Slow CLI pipeline tests (full detect / case-study commands)."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+
+def test_cli_detect_small_acobe(capsys):
+    assert main(["detect", "--scale", "small", "--model", "acobe", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "AUC=" in out
+    assert "FPs-before-TPs=" in out
+    # The table shows five entries plus a header.
+    assert out.count("\n") > 5
+
+
+def test_cli_case_study_zeus(capsys):
+    assert main(["case-study", "zeus", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "victim rank" in out
+    assert "victim tops the list first on" in out

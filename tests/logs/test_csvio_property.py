@@ -1,0 +1,76 @@
+"""Property-based round-trip tests for the CSV layer."""
+
+from datetime import datetime, timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.csvio import read_store, write_store
+from repro.logs.schema import (
+    DeviceEvent,
+    DnsEvent,
+    EmailEvent,
+    HttpEvent,
+    LogonEvent,
+    ProxyEvent,
+)
+from repro.logs.store import LogStore
+
+BASE = datetime(2010, 6, 1, 0, 0)
+
+users = st.from_regex(r"[A-Z]{3}[0-9]{4}", fullmatch=True)
+timestamps = st.integers(min_value=0, max_value=10_000).map(
+    lambda minutes: BASE + timedelta(minutes=minutes)
+)
+domains = st.from_regex(r"[a-z]{3,12}\.(com|org|net)", fullmatch=True)
+
+
+@st.composite
+def events(draw):
+    kind = draw(st.sampled_from(["device", "http", "logon", "email", "proxy", "dns"]))
+    ts = draw(timestamps)
+    user = draw(users)
+    if kind == "device":
+        return DeviceEvent(ts, user, draw(st.sampled_from(["connect", "disconnect"])),
+                           f"PC-{draw(st.integers(0, 99))}")
+    if kind == "http":
+        activity = draw(st.sampled_from(["visit", "download", "upload"]))
+        filetype = None if activity == "visit" else draw(
+            st.sampled_from(["doc", "exe", "jpg", "pdf", "txt", "zip", "other"])
+        )
+        return HttpEvent(ts, user, activity, draw(domains), filetype=filetype)
+    if kind == "logon":
+        return LogonEvent(ts, user, draw(st.sampled_from(["logon", "logoff"])),
+                          f"PC-{draw(st.integers(0, 99))}")
+    if kind == "email":
+        return EmailEvent(ts, user, draw(st.sampled_from(["send", "receive", "view"])),
+                          n_recipients=draw(st.integers(0, 20)),
+                          size_bytes=draw(st.integers(0, 10**6)),
+                          n_attachments=draw(st.integers(0, 5)))
+    if kind == "proxy":
+        return ProxyEvent(ts, user, draw(domains), "/x",
+                          draw(st.sampled_from(["success", "failure", "blocked"])),
+                          bytes_out=draw(st.integers(0, 10**6)),
+                          bytes_in=draw(st.integers(0, 10**6)))
+    return DnsEvent(ts, user, draw(domains), resolved=draw(st.booleans()))
+
+
+@given(st.lists(events(), min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_csv_round_trip_is_lossless(tmp_path_factory, batch):
+    directory = tmp_path_factory.mktemp("csv")
+    store = LogStore()
+    store.extend(batch)
+    store.sort()
+    write_store(store, directory)
+    loaded = read_store(directory)
+
+    assert loaded.count() == store.count()
+    assert loaded.users() == store.users()
+    assert loaded.type_names() == store.type_names()
+    for user in store.users():
+        for type_name in store.type_names():
+            original = sorted(store.events(user, type_name), key=lambda e: (e.timestamp, repr(e)))
+            restored = sorted(loaded.events(user, type_name), key=lambda e: (e.timestamp, repr(e)))
+            assert original == restored

@@ -1,0 +1,140 @@
+"""Event schema validation tests."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.logs.schema import (
+    DeviceEvent,
+    DnsEvent,
+    EmailEvent,
+    FileEvent,
+    HttpEvent,
+    LogonEvent,
+    PowerShellEvent,
+    ProxyEvent,
+    SysmonEvent,
+    UserRecord,
+    WindowsEvent,
+    event_to_row,
+    event_type_name,
+)
+
+TS = datetime(2010, 5, 3, 14, 30)
+
+
+class TestDeviceEvent:
+    def test_valid(self):
+        e = DeviceEvent(TS, "ABC0001", "connect", "PC-1")
+        assert e.day == TS.date()
+
+    def test_rejects_unknown_activity(self):
+        with pytest.raises(ValueError):
+            DeviceEvent(TS, "ABC0001", "mount", "PC-1")
+
+    def test_rejects_empty_host(self):
+        with pytest.raises(ValueError):
+            DeviceEvent(TS, "ABC0001", "connect", "")
+
+    def test_rejects_empty_user(self):
+        with pytest.raises(ValueError):
+            DeviceEvent(TS, "", "connect", "PC-1")
+
+
+class TestFileEvent:
+    def test_open_requires_from(self):
+        with pytest.raises(ValueError):
+            FileEvent(TS, "u", "open", "F1")
+
+    def test_write_requires_to(self):
+        with pytest.raises(ValueError):
+            FileEvent(TS, "u", "write", "F1", from_location="local")
+
+    def test_copy_requires_both(self):
+        with pytest.raises(ValueError):
+            FileEvent(TS, "u", "copy", "F1", from_location="local")
+
+    def test_valid_copy(self):
+        e = FileEvent(TS, "u", "copy", "F1", from_location="remote", to_location="local")
+        assert e.from_location == "remote"
+
+    def test_rejects_bad_location(self):
+        with pytest.raises(ValueError):
+            FileEvent(TS, "u", "open", "F1", from_location="cloud")
+
+    def test_rejects_empty_file_id(self):
+        with pytest.raises(ValueError):
+            FileEvent(TS, "u", "open", "", from_location="local")
+
+
+class TestHttpEvent:
+    def test_visit_needs_no_filetype(self):
+        assert HttpEvent(TS, "u", "visit", "example.com").filetype is None
+
+    def test_upload_requires_filetype(self):
+        with pytest.raises(ValueError):
+            HttpEvent(TS, "u", "upload", "example.com")
+
+    def test_rejects_unknown_filetype(self):
+        with pytest.raises(ValueError):
+            HttpEvent(TS, "u", "upload", "example.com", filetype="iso")
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            HttpEvent(TS, "u", "visit", "")
+
+
+class TestOtherEvents:
+    def test_email_counters_non_negative(self):
+        with pytest.raises(ValueError):
+            EmailEvent(TS, "u", "send", n_recipients=-1)
+
+    def test_logon_requires_pc(self):
+        with pytest.raises(ValueError):
+            LogonEvent(TS, "u", "logon", "")
+
+    def test_windows_event_id_positive(self):
+        with pytest.raises(ValueError):
+            WindowsEvent(TS, "u", 0)
+
+    def test_sysmon_ok(self):
+        e = SysmonEvent(TS, "u", 13, image="x.exe", target="HKCU\\Run")
+        assert e.event_id == 13
+
+    def test_powershell_default_id(self):
+        assert PowerShellEvent(TS, "u", script="ls").event_id == 4104
+
+    def test_proxy_verdicts(self):
+        with pytest.raises(ValueError):
+            ProxyEvent(TS, "u", "d.com", verdict="timeout")
+
+    def test_proxy_bytes_non_negative(self):
+        with pytest.raises(ValueError):
+            ProxyEvent(TS, "u", "d.com", bytes_out=-5)
+
+    def test_dns_requires_domain(self):
+        with pytest.raises(ValueError):
+            DnsEvent(TS, "u", "")
+
+
+class TestUserRecord:
+    def test_department_is_third_tier(self):
+        r = UserRecord("ABC0001", "A B", ("Corp", "Div 1", "Dept 2", "Team 9"))
+        assert r.department == "Corp/Div 1/Dept 2"
+
+    def test_requires_three_tiers(self):
+        with pytest.raises(ValueError):
+            UserRecord("ABC0001", "A B", ("Corp", "Div 1"))
+
+
+class TestTypeRegistry:
+    def test_type_name(self):
+        assert event_type_name(DeviceEvent(TS, "u", "connect", "PC")) == "device"
+        assert event_type_name(ProxyEvent(TS, "u", "d.com")) == "proxy"
+
+    def test_event_to_row_round_trip_fields(self):
+        e = HttpEvent(TS, "u", "upload", "d.com", filetype="doc")
+        row = event_to_row(e)
+        assert row["type"] == "http"
+        assert row["timestamp"] == TS.isoformat()
+        assert row["filetype"] == "doc"

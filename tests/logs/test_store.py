@@ -1,0 +1,88 @@
+"""LogStore indexing and query tests."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.logs.schema import DeviceEvent, HttpEvent, LogonEvent
+from repro.logs.store import LogStore
+
+
+def ts(day, hour=9):
+    return datetime(2010, 1, day, hour)
+
+
+@pytest.fixture
+def store():
+    s = LogStore()
+    s.extend(
+        [
+            LogonEvent(ts(4), "alice", "logon", "PC-A"),
+            LogonEvent(ts(4, 17), "alice", "logoff", "PC-A"),
+            LogonEvent(ts(5), "alice", "logon", "PC-A"),
+            HttpEvent(ts(4, 10), "alice", "visit", "example.com"),
+            LogonEvent(ts(4), "bob", "logon", "PC-B"),
+        ]
+    )
+    return s
+
+
+def test_count(store):
+    assert store.count() == 5
+    assert len(store) == 5
+
+
+def test_users_sorted(store):
+    assert store.users() == ["alice", "bob"]
+
+
+def test_days_sorted(store):
+    assert store.days() == [date(2010, 1, 4), date(2010, 1, 5)]
+
+
+def test_query_by_user_type(store):
+    assert len(store.events("alice", "logon")) == 3
+    assert len(store.events("bob", "logon")) == 1
+    assert len(store.events("bob", "http")) == 0
+
+
+def test_query_by_day(store):
+    assert len(store.events("alice", "logon", date(2010, 1, 4))) == 2
+    assert len(store.events("alice", "logon", date(2010, 1, 6))) == 0
+
+
+def test_type_names(store):
+    assert store.type_names() == ["http", "logon"]
+
+
+def test_count_by_type(store):
+    assert store.count_by_type() == {"logon": 4, "http": 1}
+
+
+def test_iter_events_covers_all(store):
+    assert sum(1 for _ in store.iter_events()) == 5
+
+
+def test_sort_orders_chronologically():
+    s = LogStore()
+    s.append(LogonEvent(ts(4, 15), "u", "logon", "PC"))
+    s.append(LogonEvent(ts(4, 8), "u", "logon", "PC"))
+    s.sort()
+    events = store_events = s.events("u", "logon")
+    assert [e.timestamp.hour for e in events] == [8, 15]
+
+
+def test_merge():
+    a, b = LogStore(), LogStore()
+    a.append(LogonEvent(ts(4), "u", "logon", "PC"))
+    b.append(DeviceEvent(ts(5), "u", "connect", "PC"))
+    a.merge(b)
+    assert a.count() == 2
+    assert a.type_names() == ["device", "logon"]
+
+
+def test_empty_store():
+    s = LogStore()
+    assert s.users() == []
+    assert s.days() == []
+    assert s.events("nobody", "logon") == []

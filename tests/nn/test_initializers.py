@@ -1,0 +1,57 @@
+"""Initializer distribution tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_normal,
+    glorot_uniform,
+    he_normal,
+    he_uniform,
+    zeros,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def test_glorot_uniform_bounds():
+    w = glorot_uniform((100, 50), RNG)
+    limit = math.sqrt(6.0 / 150)
+    assert w.shape == (100, 50)
+    assert np.abs(w).max() <= limit
+
+
+def test_glorot_normal_std():
+    w = glorot_normal((400, 400), RNG)
+    expected = math.sqrt(2.0 / 800)
+    assert abs(w.std() - expected) / expected < 0.1
+
+
+def test_he_uniform_bounds():
+    w = he_uniform((100, 10), RNG)
+    assert np.abs(w).max() <= math.sqrt(6.0 / 100)
+
+
+def test_he_normal_std():
+    w = he_normal((500, 100), RNG)
+    expected = math.sqrt(2.0 / 500)
+    assert abs(w.std() - expected) / expected < 0.1
+
+
+def test_zeros():
+    np.testing.assert_array_equal(zeros((3, 2), RNG), np.zeros((3, 2)))
+
+
+def test_registry():
+    assert get_initializer("glorot_uniform") is glorot_uniform
+    with pytest.raises(ValueError, match="unknown initializer"):
+        get_initializer("orthogonal")
+
+
+def test_reproducible_with_same_seed():
+    a = glorot_uniform((4, 4), np.random.default_rng(1))
+    b = glorot_uniform((4, 4), np.random.default_rng(1))
+    np.testing.assert_array_equal(a, b)

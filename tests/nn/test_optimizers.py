@@ -1,0 +1,118 @@
+"""Optimizer behaviour tests: each optimizer minimizes a simple quadratic."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optimizers import SGD, Adadelta, Adam, Momentum, RMSProp, get_optimizer
+
+
+def minimize_quadratic(optimizer, steps=400, dim=5, seed=0):
+    """Run ``steps`` of gradient descent on f(x) = ||x - target||^2."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=dim)
+    param = Parameter("x", rng.normal(size=dim) + 5.0)
+    for _ in range(steps):
+        param.grad = 2.0 * (param.value - target)
+        optimizer.step([param])
+    return float(np.abs(param.value - target).max())
+
+
+@pytest.mark.parametrize(
+    "optimizer,steps",
+    [
+        (SGD(learning_rate=0.1), 200),
+        (Momentum(learning_rate=0.05, momentum=0.9), 200),
+        (RMSProp(learning_rate=0.05), 500),
+        (Adadelta(), 2000),
+        (Adam(learning_rate=0.1), 500),
+    ],
+    ids=["sgd", "momentum", "rmsprop", "adadelta", "adam"],
+)
+def test_optimizer_converges_on_quadratic(optimizer, steps):
+    assert minimize_quadratic(optimizer, steps=steps) < 1e-2
+
+
+def test_sgd_exact_step():
+    param = Parameter("x", np.array([1.0]))
+    param.grad = np.array([0.5])
+    SGD(learning_rate=0.2).step([param])
+    np.testing.assert_allclose(param.value, [0.9])
+
+
+def test_momentum_accumulates_velocity():
+    param = Parameter("x", np.array([0.0]))
+    opt = Momentum(learning_rate=1.0, momentum=0.5)
+    param.grad = np.array([1.0])
+    opt.step([param])
+    first = param.value.copy()
+    param.grad = np.array([1.0])
+    opt.step([param])
+    # Second step moves further than the first (velocity builds up).
+    assert abs(param.value[0] - first[0]) > abs(first[0])
+
+
+def test_adadelta_compresses_gradient_scale():
+    """Adadelta's adaptive denominator hugely compresses the six-orders-
+    of-magnitude spread between tiny and huge gradients."""
+    small = Parameter("s", np.array([1.0]))
+    big = Parameter("b", np.array([1.0]))
+    opt = Adadelta()
+    small.grad = np.array([1e-3])
+    big.grad = np.array([1e3])
+    opt.step([small, big])
+    step_small = abs(1.0 - small.value[0])
+    step_big = abs(1.0 - big.value[0])
+    assert step_small > 0 and step_big > 0
+    # Raw gradients differ by 1e6; updates must differ by < 1e2.
+    assert step_big / step_small < 1e2
+
+
+def test_adam_bias_correction_first_step():
+    param = Parameter("x", np.array([0.0]))
+    opt = Adam(learning_rate=0.1)
+    param.grad = np.array([3.0])
+    opt.step([param])
+    # With bias correction the first step is ~learning_rate regardless of g.
+    np.testing.assert_allclose(param.value, [-0.1], atol=1e-6)
+
+
+def test_state_is_per_parameter():
+    p1 = Parameter("a", np.array([0.0]))
+    p2 = Parameter("b", np.array([0.0]))
+    opt = Adam(learning_rate=0.1)
+    p1.grad = np.array([1.0])
+    p2.grad = np.array([-1.0])
+    opt.step([p1, p2])
+    assert p1.value[0] < 0 < p2.value[0]
+
+
+def test_iterations_counter():
+    opt = SGD()
+    param = Parameter("x", np.array([0.0]))
+    param.grad = np.array([0.0])
+    for _ in range(3):
+        opt.step([param])
+    assert opt.iterations == 3
+
+
+def test_registry_lookup_and_kwargs():
+    opt = get_optimizer("adadelta", rho=0.9)
+    assert isinstance(opt, Adadelta)
+    assert opt.rho == 0.9
+
+
+def test_registry_unknown():
+    with pytest.raises(ValueError, match="unknown optimizer"):
+        get_optimizer("lion")
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_rejects_nonpositive_learning_rate(bad):
+    with pytest.raises(ValueError):
+        SGD(learning_rate=bad)
+
+
+def test_adadelta_rejects_bad_rho():
+    with pytest.raises(ValueError):
+        Adadelta(rho=1.5)
