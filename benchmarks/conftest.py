@@ -6,7 +6,12 @@ extraction, autoencoder training) happens once per model per session.
 
 Scale is controlled by ``ACOBE_BENCH_SCALE`` (small | default | paper);
 ``default`` fits a laptop core, ``paper`` matches the paper's 929-user
-population and 512/256/128/64 autoencoders.
+population and 512/256/128/64 autoencoders.  ``ACOBE_BENCH_JOBS`` fans
+ensemble training out over that many worker processes (results are
+identical at any value).
+
+Every test collected from this directory carries the ``benchmark``
+marker, so ``pytest -m "not benchmark"`` excludes the suite wholesale.
 
 Each figure's regenerated text output is printed and also written to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference it.
@@ -31,6 +36,12 @@ from repro.eval.experiments import build_cert_benchmark, cert_config, run_model
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ with the ``benchmark`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def bench_config():
     return cert_config()
@@ -51,7 +62,9 @@ class ModelRunCache:
 
     def _factory(self, name):
         cfg = self.benchmark.config
-        common = dict(ae_config=cfg.autoencoder, train_stride=cfg.train_stride)
+        common = dict(
+            ae_config=cfg.autoencoder, train_stride=cfg.train_stride, n_jobs=cfg.n_jobs
+        )
         window = dict(window=cfg.window, matrix_days=cfg.matrix_days)
         factories = {
             "ACOBE": lambda: make_acobe(**common, **window),

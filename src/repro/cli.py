@@ -75,10 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--model", default="acobe", choices=sorted(_MODEL_FACTORIES))
     p_det.add_argument("--top", type=int, default=10, help="list length to print")
     p_det.add_argument("--seed", type=int, default=None)
+    p_det.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for ensemble training (1 = serial, 0 = all cores); "
+        "results are identical at any value",
+    )
 
     p_case = sub.add_parser("case-study", help="run an enterprise attack case study")
     p_case.add_argument("attack", choices=("zeus", "wannacry"))
     p_case.add_argument("--scale", default="small", choices=("small", "default", "paper"))
+    p_case.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for ensemble training (1 = serial, 0 = all cores)",
+    )
 
     sub.add_parser("presets", help="show the benchmark scale presets")
     return parser
@@ -119,7 +128,11 @@ def cmd_detect(args: argparse.Namespace) -> int:
         config = replace(config, seed=args.seed)
     benchmark = build_cert_benchmark(config)
     factory = _MODEL_FACTORIES[args.model]
-    kwargs = dict(ae_config=config.autoencoder, train_stride=config.train_stride)
+    kwargs = dict(
+        ae_config=config.autoencoder,
+        train_stride=config.train_stride,
+        n_jobs=args.jobs,
+    )
     if args.model in ("acobe", "no-group", "all-in-one"):
         kwargs.update(window=config.window, matrix_days=config.matrix_days)
     model = factory(**kwargs)
@@ -139,9 +152,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
 
 def cmd_case_study(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.eval.experiments import run_case_study
 
     config = case_study_config(args.attack, args.scale)
+    if args.jobs != config.n_jobs:
+        config = replace(config, n_jobs=args.jobs)
     print(f"simulating {config.n_employees} employees, attack on {config.attack_day} ...")
     benchmark = build_case_study(config)
     result = run_case_study(benchmark)

@@ -37,11 +37,21 @@ from repro.core.matrix import CompoundMatrices, build_compound_matrices
 from repro.features.measurements import MeasurementCube
 from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
 from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+from repro.nn.network import TrainingHistory
+from repro.nn.parallel import AspectTask, derive_seed, train_ensemble
 
 
 @dataclass(frozen=True)
 class ModelConfig:
-    """Configuration of a compound-behaviour model."""
+    """Configuration of a compound-behaviour model.
+
+    ``n_jobs`` controls how many worker processes train the per-aspect
+    ensemble (1 = in-process serial, < 1 = all cores).  Training results
+    are bit-identical for every value -- each aspect's autoencoder seed
+    is derived from ``autoencoder.seed`` with
+    :func:`repro.nn.parallel.derive_seed`, so the trained weights depend
+    only on the configuration, never on scheduling.
+    """
 
     name: str = "ACOBE"
     representation: str = "deviation"  # "deviation" | "normalized"
@@ -54,6 +64,7 @@ class ModelConfig:
     all_in_one: bool = False
     critic_n: int = 3
     train_stride: int = 1
+    n_jobs: int = 1
     autoencoder: AutoencoderConfig = field(default_factory=AutoencoderConfig)
 
     def __post_init__(self) -> None:
@@ -75,6 +86,7 @@ class CompoundBehaviorModel:
         self._deviations: Optional[DeviationCube] = None
         self._aspects: List[AspectSpec] = []
         self._autoencoders: Dict[str, Autoencoder] = {}
+        self._histories: Dict[str, TrainingHistory] = {}
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -92,6 +104,18 @@ class CompoundBehaviorModel:
             return self._autoencoders[aspect]
         except KeyError:
             raise KeyError(f"no autoencoder for aspect {aspect!r} (model not fitted?)") from None
+
+    def training_history(self, aspect: str) -> TrainingHistory:
+        """The per-epoch loss curves of one aspect's training run."""
+        try:
+            return self._histories[aspect]
+        except KeyError:
+            raise KeyError(f"no training history for aspect {aspect!r} (model not fitted?)") from None
+
+    @property
+    def training_histories(self) -> Dict[str, TrainingHistory]:
+        """Aspect name -> training history, in ensemble order."""
+        return dict(self._histories)
 
     # ------------------------------------------------------------------
     def fit(
@@ -122,13 +146,20 @@ class CompoundBehaviorModel:
             )
         anchors = anchors[:: cfg.train_stride]
 
-        self._autoencoders = {}
-        for aspect in self._aspects:
+        # One self-contained task per aspect: the derived seed makes each
+        # autoencoder's training independent of execution order, so the
+        # ensemble can fan out over processes with bit-identical results.
+        tasks = []
+        for index, aspect in enumerate(self._aspects):
             matrices = self._matrices_for(aspect, anchors)
-            train = matrices.training_set()
-            ae = Autoencoder(input_dim=matrices.dim, config=cfg.autoencoder)
-            ae.fit(train, verbose=verbose)
-            self._autoencoders[aspect.name] = ae
+            ae_config = replace(
+                cfg.autoencoder, seed=derive_seed(cfg.autoencoder.seed, index)
+            )
+            tasks.append(AspectTask(aspect.name, matrices.training_set(), ae_config))
+
+        trained = train_ensemble(tasks, n_jobs=cfg.n_jobs, verbose=verbose)
+        self._autoencoders = {name: t.autoencoder for name, t in trained.items()}
+        self._histories = {name: t.history for name, t in trained.items()}
         self._fitted = True
         return self
 
@@ -310,6 +341,7 @@ def make_acobe(
     matrix_days: Optional[int] = None,
     critic_n: int = 3,
     train_stride: int = 1,
+    n_jobs: int = 1,
 ) -> CompoundBehaviorModel:
     """ACOBE as evaluated in Section V (N=3, omega=30)."""
     return _zoo_model(
@@ -319,6 +351,7 @@ def make_acobe(
             matrix_days=matrix_days or window,
             critic_n=critic_n,
             train_stride=train_stride,
+            n_jobs=n_jobs,
         ),
         ae_config,
     )
@@ -330,6 +363,7 @@ def make_no_group(
     matrix_days: Optional[int] = None,
     critic_n: int = 3,
     train_stride: int = 1,
+    n_jobs: int = 1,
 ) -> CompoundBehaviorModel:
     """The No-Group ablation: ACOBE without the group-behaviour block."""
     return _zoo_model(
@@ -340,6 +374,7 @@ def make_no_group(
             matrix_days=matrix_days or window,
             critic_n=critic_n,
             train_stride=train_stride,
+            n_jobs=n_jobs,
         ),
         ae_config,
     )
@@ -349,6 +384,7 @@ def make_one_day(
     ae_config: Optional[AutoencoderConfig] = None,
     critic_n: int = 3,
     train_stride: int = 1,
+    n_jobs: int = 1,
 ) -> CompoundBehaviorModel:
     """The 1-Day ablation: normalized single-day occurrences."""
     return _zoo_model(
@@ -359,6 +395,7 @@ def make_one_day(
             apply_weights=False,
             critic_n=critic_n,
             train_stride=train_stride,
+            n_jobs=n_jobs,
         ),
         ae_config,
     )
@@ -370,6 +407,7 @@ def make_all_in_one(
     matrix_days: Optional[int] = None,
     critic_n: int = 1,
     train_stride: int = 1,
+    n_jobs: int = 1,
 ) -> CompoundBehaviorModel:
     """The All-in-1 ablation: one autoencoder over every feature."""
     return _zoo_model(
@@ -380,6 +418,7 @@ def make_all_in_one(
             matrix_days=matrix_days or window,
             critic_n=critic_n,
             train_stride=train_stride,
+            n_jobs=n_jobs,
         ),
         ae_config,
     )
@@ -389,6 +428,7 @@ def make_baseline(
     ae_config: Optional[AutoencoderConfig] = None,
     critic_n: int = 3,
     train_stride: int = 1,
+    n_jobs: int = 1,
 ) -> CompoundBehaviorModel:
     """Liu et al.'s Baseline (fit it with the coarse-grained cube).
 
@@ -406,6 +446,7 @@ def make_baseline(
             include_group=False,
             critic_n=critic_n,
             train_stride=train_stride,
+            n_jobs=n_jobs,
         ),
         ae_config,
     )
@@ -415,6 +456,7 @@ def make_base_ff(
     ae_config: Optional[AutoencoderConfig] = None,
     critic_n: int = 3,
     train_stride: int = 1,
+    n_jobs: int = 1,
 ) -> CompoundBehaviorModel:
     """Base-FF: the Baseline framework on ACOBE's fine-grained features.
 
@@ -430,6 +472,7 @@ def make_base_ff(
             include_group=False,
             critic_n=critic_n,
             train_stride=train_stride,
+            n_jobs=n_jobs,
         ),
         ae_config,
     )

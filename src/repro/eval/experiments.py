@@ -82,6 +82,8 @@ class CertBenchmarkConfig:
     autoencoder: AutoencoderConfig
     train_stride: int = 1
     seed: int = 7
+    #: worker processes for ensemble training (1 = serial, < 1 = all cores)
+    n_jobs: int = 1
     start: date = CERT_START
     #: 1 = alternate scenario 1/2 across departments; 2 = inject both
     #: scenarios in every department (the r6.1+r6.2 structure: each
@@ -202,14 +204,26 @@ CERT_PAPER = CertBenchmarkConfig(
 _CERT_PRESETS = {"small": CERT_SMALL, "default": CERT_DEFAULT, "paper": CERT_PAPER}
 
 
+def _bench_jobs() -> int:
+    """Worker count for benchmark runs: $ACOBE_BENCH_JOBS, default serial."""
+    return int(os.environ.get("ACOBE_BENCH_JOBS", "1"))
+
+
 def cert_config(scale: Optional[str] = None) -> CertBenchmarkConfig:
-    """Look up a CERT preset; defaults to $ACOBE_BENCH_SCALE or 'default'."""
+    """Look up a CERT preset; defaults to $ACOBE_BENCH_SCALE or 'default'.
+
+    ``$ACOBE_BENCH_JOBS`` overrides the preset's ensemble-training
+    worker count (results are identical at any value; see
+    :mod:`repro.nn.parallel`).
+    """
     scale = scale or os.environ.get("ACOBE_BENCH_SCALE", "default")
     try:
-        return _CERT_PRESETS[scale]
+        config = _CERT_PRESETS[scale]
     except KeyError:
         known = ", ".join(sorted(_CERT_PRESETS))
         raise ValueError(f"unknown scale {scale!r}; expected one of: {known}") from None
+    jobs = _bench_jobs()
+    return config if jobs == config.n_jobs else replace(config, n_jobs=jobs)
 
 
 @dataclass
@@ -440,6 +454,8 @@ class CaseStudyConfig:
     autoencoder: AutoencoderConfig
     critic_n: int = 3
     train_stride: int = 1
+    #: worker processes for ensemble training (1 = serial, < 1 = all cores)
+    n_jobs: int = 1
     seed: int = 13
     start: date = date(2021, 7, 1)
 
@@ -510,7 +526,9 @@ def case_study_config(attack: str, scale: Optional[str] = None) -> CaseStudyConf
     except KeyError:
         known = ", ".join(sorted(presets))
         raise ValueError(f"unknown scale {scale!r}; expected one of: {known}") from None
-    return CaseStudyConfig(name=f"{attack}-{scale}", attack=attack, **kwargs)
+    return CaseStudyConfig(
+        name=f"{attack}-{scale}", attack=attack, n_jobs=_bench_jobs(), **kwargs
+    )
 
 
 @dataclass
@@ -590,6 +608,7 @@ def run_case_study(
             matrix_days=cfg.matrix_days,
             critic_n=cfg.critic_n,
             train_stride=cfg.train_stride,
+            n_jobs=cfg.n_jobs,
             autoencoder=cfg.autoencoder,
         )
     )

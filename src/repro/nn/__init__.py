@@ -17,6 +17,10 @@ top of numpy with hand-written, gradient-checked backpropagation:
   throughout the paper (encoder 512/256/128/64, mirrored decoder).
 * :mod:`repro.nn.gradcheck` -- finite-difference gradient checking used by
   the test-suite to validate every layer's backward pass.
+* :mod:`repro.nn.parallel` -- deterministic fan-out of per-aspect
+  autoencoder training over a process pool.
+* :mod:`repro.nn.serialization` -- bit-exact ``.npz`` save/load of
+  trained networks (also the worker->parent weight transport).
 """
 
 from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
@@ -33,10 +37,24 @@ from repro.nn.layers import (
 from repro.nn.losses import Loss, MeanAbsoluteError, MeanSquaredError
 from repro.nn.network import Sequential, TrainingHistory
 from repro.nn.optimizers import SGD, Adadelta, Adam, Momentum, Optimizer, RMSProp
+from repro.nn.parallel import (
+    AspectTask,
+    TrainedAspect,
+    derive_seed,
+    resolve_n_jobs,
+    train_ensemble,
+)
+from repro.nn.serialization import (
+    load_network,
+    network_from_bytes,
+    network_to_bytes,
+    save_network,
+)
 
 __all__ = [
     "Adadelta",
     "Adam",
+    "AspectTask",
     "Autoencoder",
     "AutoencoderConfig",
     "BatchNormalization",
@@ -55,5 +73,13 @@ __all__ = [
     "SGD",
     "Sigmoid",
     "Tanh",
+    "TrainedAspect",
     "TrainingHistory",
+    "derive_seed",
+    "load_network",
+    "network_from_bytes",
+    "network_to_bytes",
+    "resolve_n_jobs",
+    "save_network",
+    "train_ensemble",
 ]

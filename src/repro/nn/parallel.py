@@ -1,0 +1,191 @@
+"""Parallel training of per-aspect autoencoder ensembles.
+
+ACOBE's detector trains one autoencoder per behavioural aspect.  The
+aspects are independent -- each training run owns its data, its config
+and its RNG -- so the ensemble fans out over a
+:class:`concurrent.futures.ProcessPoolExecutor` with no shared state.
+
+Determinism is an explicit contract:
+
+* Every :class:`AspectTask` carries a *final* :class:`AutoencoderConfig`
+  whose ``seed`` fully determines weight initialization and mini-batch
+  shuffling (see :func:`derive_seed` for how the detector derives one
+  seed per aspect from the model-level seed).
+* Workers never touch a shared RNG, so the result of
+  :func:`train_ensemble` is bit-identical for any ``n_jobs`` -- serial
+  (``n_jobs=1``), parallel, and the fallback path all produce the same
+  weights, the same :class:`TrainingHistory` and therefore the same
+  anomaly scores.
+* Trained weights travel back from workers through the
+  :mod:`repro.nn.serialization` ``.npz`` round-trip
+  (:func:`~repro.nn.serialization.network_to_bytes`), which preserves
+  every float bit, including BatchNormalization running statistics.
+
+Platforms without the ``fork`` start method (and sandboxes where
+process pools cannot be created at all) silently fall back to the
+same-process serial path, which is result-identical by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+from repro.nn.network import TrainingHistory
+from repro.nn.serialization import network_from_bytes, network_to_bytes
+
+__all__ = [
+    "AspectTask",
+    "TrainedAspect",
+    "derive_seed",
+    "resolve_n_jobs",
+    "train_ensemble",
+]
+
+
+def derive_seed(base_seed: Optional[int], index: int) -> Optional[int]:
+    """Deterministic per-aspect seed from the ensemble-level seed.
+
+    Uses :class:`numpy.random.SeedSequence` with ``index`` as the spawn
+    key, so every aspect trains from a statistically independent stream
+    while the whole ensemble stays reproducible from one integer.  A
+    ``None`` base (explicitly non-deterministic training) stays ``None``.
+
+    The derivation depends only on ``(base_seed, index)`` -- not on
+    process identity, scheduling order, or platform -- which is what
+    makes parallel training bit-identical to serial.
+    """
+    if base_seed is None:
+        return None
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    sequence = np.random.SeedSequence(base_seed, spawn_key=(index,))
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class AspectTask:
+    """One self-contained training job: an aspect's data and final config.
+
+    ``config.seed`` must already be the *derived* per-aspect seed; the
+    engine does not re-derive so that the task alone fully determines
+    the trained weights.
+    """
+
+    name: str
+    data: np.ndarray  # training matrix, shape (n_samples, input_dim)
+    config: AutoencoderConfig
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(
+                f"task {self.name!r} needs a non-empty 2-D training matrix, "
+                f"got shape {data.shape}"
+            )
+
+
+@dataclass
+class TrainedAspect:
+    """A trained ensemble member with its loss curves."""
+
+    name: str
+    autoencoder: Autoencoder
+    history: TrainingHistory
+
+
+def resolve_n_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
+    """Effective worker count: ``n_jobs < 1`` means "all cores".
+
+    The result is clamped to ``[1, n_tasks]`` -- spawning more workers
+    than aspects only costs fork overhead.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    if n_jobs is None:
+        n_jobs = 1
+    if n_jobs < 1:
+        n_jobs = os.cpu_count() or 1
+    return max(1, min(n_jobs, n_tasks))
+
+
+def _train_serial(task: AspectTask, verbose: bool = False) -> TrainedAspect:
+    """Train one task in the current process."""
+    ae = Autoencoder(input_dim=task.data.shape[1], config=task.config)
+    history = ae.fit(task.data, verbose=verbose)
+    return TrainedAspect(name=task.name, autoencoder=ae, history=history)
+
+
+def _train_in_worker(task: AspectTask) -> Tuple[str, TrainingHistory, bytes]:
+    """Worker entry point: train and ship the weights back as bytes.
+
+    Module-level so it pickles under every start method.  The payload is
+    the serialization archive rather than the Autoencoder object itself,
+    keeping the IPC surface down to a documented, versionable format.
+    """
+    trained = _train_serial(task)
+    return task.name, trained.history, network_to_bytes(trained.autoencoder.network)
+
+
+def _rebuild(task: AspectTask, history: TrainingHistory, payload: bytes) -> TrainedAspect:
+    """Reconstitute a worker's result in the parent process."""
+    ae = Autoencoder(input_dim=task.data.shape[1], config=task.config)
+    network_from_bytes(ae.network, payload)
+    ae._fitted = True  # weights are trained; loading replaces fit()
+    return TrainedAspect(name=task.name, autoencoder=ae, history=history)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or None where unsupported."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def train_ensemble(
+    tasks: Sequence[AspectTask],
+    n_jobs: Optional[int] = 1,
+    verbose: bool = False,
+) -> Dict[str, TrainedAspect]:
+    """Train every task, optionally across a process pool.
+
+    Args:
+        tasks: independent per-aspect training jobs; names must be unique.
+        n_jobs: worker processes; 1 trains in-process, values < 1 use
+            all cores.  Results are bit-identical for every value.
+        verbose: per-epoch progress lines (serial path only).
+
+    Returns:
+        task name -> :class:`TrainedAspect`, in task order.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return {}
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate task names: {names}")
+
+    workers = resolve_n_jobs(n_jobs, len(tasks))
+    context = _fork_context()
+    if workers == 1 or context is None:
+        return {t.name: _train_serial(t, verbose=verbose) for t in tasks}
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [pool.submit(_train_in_worker, task) for task in tasks]
+            results = [f.result() for f in futures]
+    except (OSError, PermissionError):
+        # Sandboxes without working semaphores / process spawning: the
+        # serial path is result-identical, so degrade silently.
+        return {t.name: _train_serial(t, verbose=verbose) for t in tasks}
+
+    trained = {}
+    for task, (name, history, payload) in zip(tasks, results):
+        trained[name] = _rebuild(task, history, payload)
+    return trained

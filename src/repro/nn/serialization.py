@@ -3,14 +3,19 @@
 The archive stores every layer's ``state_dict`` flattened under
 ``layer{i}/{param}`` keys plus a small JSON header describing the stack,
 so a model trained once (e.g. for a long benchmark) can be reloaded
-without retraining.
+without retraining.  The round-trip is bit-exact -- parameters *and*
+non-trainable state such as BatchNormalization running statistics are
+restored to the same floats -- which is what lets
+:mod:`repro.nn.parallel` ship trained weights between processes through
+:func:`network_to_bytes` / :func:`network_from_bytes`.
 """
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
-from typing import Union
+from typing import IO, Union
 
 import numpy as np
 
@@ -18,9 +23,22 @@ from repro.nn.network import Sequential
 
 _HEADER_KEY = "__header__"
 
+PathOrFile = Union[str, Path, IO[bytes]]
 
-def save_network(network: Sequential, path: Union[str, Path]) -> None:
-    """Serialize a built network's parameters and stats to ``path``."""
+
+def _writable(path: PathOrFile):
+    return path if hasattr(path, "write") else str(path)
+
+
+def _readable(path: PathOrFile):
+    return path if hasattr(path, "read") else str(path)
+
+
+def save_network(network: Sequential, path: PathOrFile) -> None:
+    """Serialize a built network's parameters and stats to ``path``.
+
+    ``path`` may be a filesystem path or a writable binary file object.
+    """
     if not network.built:
         raise ValueError("cannot save an un-built network")
     arrays = {}
@@ -33,18 +51,19 @@ def save_network(network: Sequential, path: Union[str, Path]) -> None:
         for name, value in layer.state_dict().items():
             arrays[f"layer{i}/{name}"] = value
     arrays[_HEADER_KEY] = np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
-    np.savez(str(path), **arrays)
+    np.savez(_writable(path), **arrays)
 
 
-def load_network(network: Sequential, path: Union[str, Path]) -> Sequential:
+def load_network(network: Sequential, path: PathOrFile) -> Sequential:
     """Load parameters saved by :func:`save_network` into ``network``.
 
     The target network must already be built with a matching architecture;
-    mismatches raise ``ValueError``.
+    mismatches raise ``ValueError``.  ``path`` may be a filesystem path
+    or a readable binary file object.
     """
     if not network.built:
         raise ValueError("build the network before loading parameters into it")
-    with np.load(str(path)) as archive:
+    with np.load(_readable(path)) as archive:
         header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
         expected_layers = [type(layer).__name__ for layer in network.layers]
         if header["layers"] != expected_layers:
@@ -67,3 +86,19 @@ def load_network(network: Sequential, path: Union[str, Path]) -> Sequential:
             if state:
                 layer.load_state_dict(state)
     return network
+
+
+def network_to_bytes(network: Sequential) -> bytes:
+    """The :func:`save_network` archive as an in-memory byte string.
+
+    Used to ship trained weights across process boundaries (the bytes
+    are picklable and preserve every float bit).
+    """
+    buffer = io.BytesIO()
+    save_network(network, buffer)
+    return buffer.getvalue()
+
+
+def network_from_bytes(network: Sequential, data: bytes) -> Sequential:
+    """Load a :func:`network_to_bytes` payload into a built network."""
+    return load_network(network, io.BytesIO(data))

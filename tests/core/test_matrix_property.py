@@ -65,6 +65,79 @@ def test_adjacent_anchor_windows_overlap_consistently(seed):
 
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
+    window=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_deviation_outputs_finite_with_expected_shapes(seed, window):
+    """compute_deviations never emits NaN/inf and shortens only the day axis."""
+    cube = cube_from_seed(seed)
+    dev = compute_deviations(cube, None, DeviationConfig(window=window))
+    n_users, n_features, n_frames, n_days = cube.values.shape
+    expected_days = n_days - (window - 1)
+    assert dev.sigma.shape == (n_users, n_features, n_frames, expected_days)
+    assert dev.weights.shape == dev.sigma.shape
+    assert dev.group_sigma.shape == (1, n_features, n_frames, expected_days)
+    assert len(dev.days) == expected_days
+    for array in (dev.sigma, dev.weights, dev.group_sigma, dev.group_weights):
+        assert np.all(np.isfinite(array))
+    assert np.all(np.abs(dev.sigma) <= dev.config.delta)
+    assert np.all((dev.weights > 0.0) & (dev.weights <= 1.0))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    matrix_days=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_matrix_outputs_finite_with_expected_shapes(seed, matrix_days):
+    cube = cube_from_seed(seed)
+    dev = compute_deviations(cube, None, DeviationConfig(window=3))
+    anchors = dev.days[matrix_days - 1 :]
+    mats = build_compound_matrices(dev, anchors, matrix_days=matrix_days)
+    assert mats.vectors.shape == (len(dev.users), len(anchors), mats.dim)
+    assert np.all(np.isfinite(mats.vectors))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    include_group=st.booleans(),
+    apply_weights=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_permutation_of_users_equivariance(seed, include_group, apply_weights):
+    """Relabelling users permutes the outputs and changes nothing else.
+
+    With one global group, the group-average behaviour is symmetric in
+    the users, so both the deviation cube and the compound matrices must
+    commute with any permutation of the user axis.
+    """
+    cube = cube_from_seed(seed, n_users=4)
+    perm = np.random.default_rng(seed + 1).permutation(len(cube.users))
+    permuted = MeasurementCube(
+        cube.values[perm],
+        [cube.users[i] for i in perm],
+        cube.feature_set,
+        cube.timeframes,
+        cube.days,
+    )
+    cfg = DeviationConfig(window=3)
+    dev = compute_deviations(cube, None, cfg)
+    dev_p = compute_deviations(permuted, None, cfg)
+    np.testing.assert_array_equal(dev.sigma[perm], dev_p.sigma)
+    np.testing.assert_array_equal(dev.weights[perm], dev_p.weights)
+    np.testing.assert_array_equal(dev.group_sigma, dev_p.group_sigma)
+
+    anchors = dev.days[1:]
+    kwargs = dict(
+        matrix_days=2, include_group=include_group, apply_weights=apply_weights
+    )
+    mats = build_compound_matrices(dev, anchors, **kwargs)
+    mats_p = build_compound_matrices(dev_p, anchors, **kwargs)
+    np.testing.assert_array_equal(mats.vectors[perm], mats_p.vectors)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
     scale=st.floats(min_value=0.5, max_value=20.0),
 )
 @settings(max_examples=20, deadline=None)

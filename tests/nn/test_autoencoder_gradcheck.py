@@ -14,6 +14,8 @@ from repro.nn.gradcheck import numerical_gradient, relative_error
 from repro.nn.layers import BatchNormalization
 from repro.nn.losses import MeanSquaredError
 
+pytestmark = pytest.mark.slow
+
 RNG = np.random.default_rng(21)
 
 

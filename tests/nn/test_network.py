@@ -129,6 +129,43 @@ class TestFit:
         with pytest.raises(ValueError):
             net.fit(np.zeros((4, 2)), validation_split=1.0)
 
+    def test_validation_split_rounding_can_empty_training_set(self):
+        """round(4 * 0.9) == 4 holds out every row; must fail loudly."""
+        net = Sequential([Dense(2)], seed=0)
+        x = RNG.normal(size=(4, 2))
+        with pytest.raises(ValueError, match="leaves no training data"):
+            net.fit(x, epochs=1, validation_split=0.9)
+
+    def test_validation_split_just_below_rounding_edge_trains(self):
+        net = Sequential([Dense(2)], seed=0)
+        x = RNG.normal(size=(5, 2))
+        history = net.fit(x, epochs=2, validation_split=0.5)
+        assert history.epochs_trained == 2
+        assert len(history.val_loss) == 2
+
+    def test_batch_size_larger_than_dataset_is_one_full_batch(self):
+        x = RNG.normal(size=(10, 3))
+
+        def train(batch_size):
+            net = Sequential([Dense(4), Tanh(), Dense(3)], seed=4)
+            history = net.fit(x, epochs=3, batch_size=batch_size, optimizer="adam")
+            return net.predict(x), history
+
+        oversized, h_big = train(1000)
+        exact, h_exact = train(10)
+        np.testing.assert_array_equal(oversized, exact)
+        assert h_big.loss == h_exact.loss
+
+    def test_early_stopping_patience_zero_stops_at_first_plateau(self):
+        x = np.zeros((32, 2))  # loss is flat from the first epoch
+        net = Sequential([Dense(4), Dense(2)], seed=0)
+        history = net.fit(x, epochs=50, early_stopping_patience=0, optimizer="adam")
+        assert 1 <= history.epochs_trained < 50
+        # Patience 0 can never outlast patience 1 on the same run.
+        net_one = Sequential([Dense(4), Dense(2)], seed=0)
+        longer = net_one.fit(x, epochs=50, early_stopping_patience=1, optimizer="adam")
+        assert history.epochs_trained <= longer.epochs_trained
+
     def test_deterministic_given_seed(self):
         x = RNG.normal(size=(64, 3))
 
