@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for ensemble training (1 = serial, 0 = all cores); "
         "results are identical at any value",
     )
+    p_det.add_argument(
+        "--score-batch", type=int, default=1024,
+        help="matrix vectors materialized per scoring batch (memory knob; "
+        "scores are identical at any value)",
+    )
 
     p_case = sub.add_parser("case-study", help="run an enterprise attack case study")
     p_case.add_argument("attack", choices=("zeus", "wannacry"))
@@ -138,7 +143,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     model = factory(**kwargs)
     cube = benchmark.coarse_cube() if args.model == "baseline" else benchmark.cube
     print(f"fitting {model.config.name} on {len(benchmark.cube.users)} users ...")
-    run = run_model(model, benchmark, cube=cube)
+    run = run_model(model, benchmark, cube=cube, score_batch_size=args.score_batch)
 
     rows = []
     for position, entry in enumerate(run.investigation.entries[: args.top], start=1):

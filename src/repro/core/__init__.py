@@ -3,9 +3,14 @@
 * :mod:`repro.core.deviation` -- behavioural deviation math of
   Section IV-A: sliding-history z-scores clamped to +/-Delta, and the
   TF-IDF-inspired feature weights of Eq. (1).
+* :mod:`repro.core.representation` -- the unified representation
+  pipeline: the combined weighted/normalized value array computed once,
+  exposed as zero-copy :class:`~repro.core.representation.MatrixView`
+  row sources shared by batch training, scoring and streaming.
 * :mod:`repro.core.matrix` -- compound behavioral deviation matrices:
   individual + group blocks across time-frames and a multi-day window,
-  flattened and mapped to [0, 1].
+  flattened and mapped to [0, 1] (now a thin eager wrapper over the
+  representation pipeline).
 * :mod:`repro.core.critic` -- the anomaly detection critic
   (Algorithm 1): N-th-best-rank voting and the ordered investigation
   list.
@@ -28,8 +33,21 @@ from repro.core.detector import (
     make_no_group,
     make_one_day,
 )
-from repro.core.deviation import DeviationConfig, DeviationCube, compute_deviations, feature_weights
+from repro.core.deviation import (
+    DeviationConfig,
+    DeviationCube,
+    compute_deviations,
+    deviate_against_history,
+    feature_weights,
+    group_means,
+)
 from repro.core.matrix import CompoundMatrices, build_compound_matrices
+from repro.core.representation import (
+    MatrixView,
+    RepresentationPipeline,
+    aspect_rows,
+    compound_values,
+)
 
 __all__ = [
     "AdvancedCritic",
@@ -45,10 +63,16 @@ __all__ = [
     "DeviationConfig",
     "DeviationCube",
     "InvestigationList",
+    "MatrixView",
     "ModelConfig",
+    "RepresentationPipeline",
+    "aspect_rows",
     "build_compound_matrices",
+    "compound_values",
     "compute_deviations",
+    "deviate_against_history",
     "feature_weights",
+    "group_means",
     "investigation_list",
     "make_acobe",
     "make_all_in_one",

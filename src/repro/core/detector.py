@@ -32,8 +32,13 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.core.critic import InvestigationList, investigation_list
-from repro.core.deviation import DeviationConfig, DeviationCube, compute_deviations
-from repro.core.matrix import CompoundMatrices, build_compound_matrices
+from repro.core.deviation import (
+    DeviationConfig,
+    DeviationCube,
+    compute_deviations,
+    group_means,
+)
+from repro.core.representation import MatrixView, RepresentationPipeline
 from repro.features.measurements import MeasurementCube
 from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
 from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
@@ -84,6 +89,7 @@ class CompoundBehaviorModel:
     def __init__(self, config: ModelConfig):
         self.config = config
         self._deviations: Optional[DeviationCube] = None
+        self._pipeline: Optional[RepresentationPipeline] = None
         self._aspects: List[AspectSpec] = []
         self._autoencoders: Dict[str, Autoencoder] = {}
         self._histories: Dict[str, TrainingHistory] = {}
@@ -135,8 +141,7 @@ class CompoundBehaviorModel:
                 training set; only days with enough history are used.
         """
         cfg = self.config
-        self._deviations = self._build_representation(cube, dict(group_map or {}), train_days)
-        self._aspects = self._resolve_aspects(cube.feature_set)
+        self._prepare_representation(cube, group_map, train_days)
 
         anchors = self.valid_anchor_days(train_days)
         if not anchors:
@@ -149,13 +154,16 @@ class CompoundBehaviorModel:
         # One self-contained task per aspect: the derived seed makes each
         # autoencoder's training independent of execution order, so the
         # ensemble can fan out over processes with bit-identical results.
+        # Each task carries a zero-copy MatrixView (a lazy row source) --
+        # training streams mini-batches out of the shared value array
+        # instead of materializing the pooled (users*anchors, dim) tensor.
         tasks = []
         for index, aspect in enumerate(self._aspects):
-            matrices = self._matrices_for(aspect, anchors)
+            view = self._view_for(aspect, anchors)
             ae_config = replace(
                 cfg.autoencoder, seed=derive_seed(cfg.autoencoder.seed, index)
             )
-            tasks.append(AspectTask(aspect.name, matrices.training_set(), ae_config))
+            tasks.append(AspectTask(aspect.name, view, ae_config))
 
         trained = train_ensemble(tasks, n_jobs=cfg.n_jobs, verbose=verbose)
         self._autoencoders = {name: t.autoencoder for name, t in trained.items()}
@@ -163,8 +171,12 @@ class CompoundBehaviorModel:
         self._fitted = True
         return self
 
-    def score(self, days: Sequence[date]) -> Dict[str, np.ndarray]:
+    def score(self, days: Sequence[date], batch_size: int = 1024) -> Dict[str, np.ndarray]:
         """Per-aspect anomaly scores.
+
+        Scoring streams ``batch_size`` flattened matrices at a time
+        through each autoencoder; errors are per-row, so any batch size
+        yields the same ranking.
 
         Returns:
             aspect name -> array ``(n_users, len(days))`` of
@@ -174,12 +186,10 @@ class CompoundBehaviorModel:
         days = list(days)
         scores: Dict[str, np.ndarray] = {}
         for aspect in self._aspects:
-            matrices = self._matrices_for(aspect, days)
+            view = self._view_for(aspect, days)
             ae = self._autoencoders[aspect.name]
-            n_users, n_days, dim = matrices.vectors.shape
-            flat = matrices.vectors.reshape(-1, dim)
-            errors = ae.reconstruction_error(flat)
-            scores[aspect.name] = errors.reshape(n_users, n_days)
+            errors = ae.reconstruction_error(view, batch_size=batch_size)
+            scores[aspect.name] = errors.reshape(view.n_users, view.n_anchors)
         return scores
 
     def investigate(
@@ -187,6 +197,7 @@ class CompoundBehaviorModel:
         days: Sequence[date],
         n_votes: Optional[int] = None,
         reduce: str = "max",
+        batch_size: int = 1024,
     ) -> InvestigationList:
         """The ordered investigation list over a scoring period.
 
@@ -196,7 +207,7 @@ class CompoundBehaviorModel:
         """
         if reduce not in ("max", "mean"):
             raise ValueError(f"reduce must be 'max' or 'mean', got {reduce!r}")
-        scores = self.score(days)
+        scores = self.score(days, batch_size=batch_size)
         users = self._deviations.users
         aspect_scores = {}
         for name, array in scores.items():
@@ -221,7 +232,34 @@ class CompoundBehaviorModel:
         self._require_representation()
         return self._deviations
 
+    @property
+    def representation(self) -> RepresentationPipeline:
+        """The shared value pipeline built at fit time (for inspection)."""
+        self._require_representation()
+        return self._pipeline
+
     # ------------------------------------------------------------------
+    def _prepare_representation(
+        self,
+        cube: MeasurementCube,
+        group_map: Optional[Mapping[str, str]],
+        train_days: Sequence[date],
+    ) -> None:
+        """Build deviations, the shared value pipeline, and the aspect list.
+
+        The pipeline combines the weighted/normalized value arrays
+        exactly once; ``score``/``investigate`` and every per-aspect
+        view reuse it instead of recomputing per call.
+        """
+        cfg = self.config
+        self._deviations = self._build_representation(cube, dict(group_map or {}), train_days)
+        self._aspects = self._resolve_aspects(cube.feature_set)
+        self._pipeline = RepresentationPipeline.from_deviations(
+            self._deviations,
+            include_group=cfg.include_group,
+            apply_weights=cfg.apply_weights,
+        )
+
     def _build_representation(
         self,
         cube: MeasurementCube,
@@ -247,19 +285,15 @@ class CompoundBehaviorModel:
         )
         return [merged]
 
-    def _matrices_for(self, aspect: AspectSpec, anchors: Sequence[date]) -> CompoundMatrices:
+    def _view_for(self, aspect: AspectSpec, anchors: Sequence[date]) -> MatrixView:
+        """A zero-copy matrix view of one aspect over the given anchors."""
         feature_set = self._deviations.feature_set
         if self.config.all_in_one:
             indices = list(range(len(feature_set)))
         else:
             indices = feature_set.aspect_indices(aspect.name)
-        return build_compound_matrices(
-            self._deviations,
-            anchor_days=anchors,
-            matrix_days=self.config.matrix_days,
-            include_group=self.config.include_group,
-            apply_weights=self.config.apply_weights,
-            feature_indices=indices,
+        return self._pipeline.view(
+            anchors, self.config.matrix_days, feature_indices=indices
         )
 
     def _require_representation(self) -> None:
@@ -300,11 +334,7 @@ def _normalized_representation(
     groups = sorted({group_map[u] for u in cube.users})
     group_index = {g: i for i, g in enumerate(groups)}
     group_of_user = [group_index[group_map[u]] for u in cube.users]
-    group_values = np.zeros((len(groups),) + cube.values.shape[1:])
-    for gi, group in enumerate(groups):
-        members = [i for i, u in enumerate(cube.users) if group_map[u] == group]
-        group_values[gi] = cube.values[members].mean(axis=0)
-    group_sigma = normalize(group_values)
+    group_sigma = normalize(group_means(cube.values, group_of_user, len(groups)))
 
     # window=2 is a placeholder: no history is consumed in this
     # representation, so every cube day stays addressable.

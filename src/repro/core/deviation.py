@@ -129,6 +129,68 @@ def feature_weights(history_std: np.ndarray) -> np.ndarray:
     return 1.0 / np.log2(np.maximum(history_std, 2.0))
 
 
+def deviate_against_history(
+    current: np.ndarray, history: np.ndarray, config: DeviationConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One day's clamped deviation and Eq. (1) weight from an explicit history.
+
+    This is the single-day counterpart of :func:`deviation_series`: the
+    caller supplies the ``window - 1`` history days as the *last axis* of
+    ``history`` (e.g. a streaming detector's rolling buffer) instead of a
+    full series.  The math is identical -- mean/floored-std over the
+    history, z-score, clamp to ±Delta.
+
+    Args:
+        current: the day's measurements ``(...,)``.
+        history: history stack ``(..., n_history)``.
+
+    Returns:
+        ``(sigma, weights)`` with the shape of ``current``.
+    """
+    history = np.asarray(history, dtype=np.float64)
+    current = np.asarray(current, dtype=np.float64)
+    mean = history.mean(axis=-1)
+    std = np.maximum(history.std(axis=-1, ddof=config.ddof), config.epsilon)
+    sigma = np.clip((current - mean) / std, -config.delta, config.delta)
+    return sigma, feature_weights(std)
+
+
+def group_means(values: np.ndarray, group_of_user: Sequence[int], n_groups: int) -> np.ndarray:
+    """Per-group mean behaviour: average ``values`` over each group's members.
+
+    The single shared implementation of the "group average" used by the
+    batch deviation path (:func:`compute_deviations`), the normalized
+    representation and the streaming detector.  Only the group axis is
+    looped (groups are few -- departments); each member-mean is one
+    vectorized reduction, and member selection is in ascending user
+    order so results are bit-identical to ``values[members].mean(axis=0)``.
+
+    Args:
+        values: array ``(n_users, ...)``.
+        group_of_user: group index of each user, aligned with axis 0.
+        n_groups: number of groups; every group must have >= 1 member.
+
+    Returns:
+        Array ``(n_groups, ...)`` of member means.
+    """
+    values = np.asarray(values)
+    group_of_user = np.asarray(group_of_user)
+    if group_of_user.ndim != 1 or group_of_user.shape[0] != values.shape[0]:
+        raise ValueError(
+            f"group_of_user must align with the user axis: "
+            f"{group_of_user.shape} vs {values.shape[0]} users"
+        )
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+    out = np.empty((n_groups,) + values.shape[1:], dtype=np.float64)
+    for g in range(n_groups):
+        members = np.flatnonzero(group_of_user == g)
+        if members.size == 0:
+            raise ValueError(f"group {g} has no members")
+        out[g] = values[members].mean(axis=0)
+    return out
+
+
 def normalize_to_unit(sigma: np.ndarray, delta: float) -> np.ndarray:
     """Map deviations from [-Delta, Delta] to [0, 1] (Section V)."""
     if delta <= 0:
@@ -172,6 +234,7 @@ class DeviationCube:
         if len(self.group_of_user) != len(self.users):
             raise ValueError("group_of_user must align with users")
         self._day_index = {d: i for i, d in enumerate(self.days)}
+        self._user_index = {u: i for i, u in enumerate(self.users)}
 
     def has_day(self, day: date) -> bool:
         """Whether ``day`` has a deviation value (i.e. full history)."""
@@ -185,8 +248,8 @@ class DeviationCube:
 
     def user_index(self, user: str) -> int:
         try:
-            return self.users.index(user)
-        except ValueError:
+            return self._user_index[user]
+        except KeyError:
             raise KeyError(f"unknown user {user!r}") from None
 
 
@@ -219,10 +282,7 @@ def compute_deviations(
     group_index = {g: i for i, g in enumerate(groups)}
     group_of_user = [group_index[group_map[u]] for u in cube.users]
 
-    group_values = np.zeros((len(groups),) + cube.values.shape[1:])
-    for gi, group in enumerate(groups):
-        members = [i for i, u in enumerate(cube.users) if group_map[u] == group]
-        group_values[gi] = cube.values[members].mean(axis=0)
+    group_values = group_means(cube.values, group_of_user, len(groups))
     group_sigma, group_weights = deviation_series(group_values, config)
 
     return DeviationCube(

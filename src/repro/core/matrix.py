@@ -10,6 +10,17 @@ the feature axis and flatten in C order.
 Values are optionally weighted by Eq. (1) (weights are in (0, 1], so
 weighted deviations stay inside [-Delta, Delta]) and finally mapped to
 [0, 1] as the paper does before feeding the autoencoders.
+
+**Compatibility wrapper.**  Matrix *values* are owned by the unified
+representation layer in :mod:`repro.core.representation`;
+:func:`build_compound_matrices` is now a thin shim that builds a
+zero-copy :class:`~repro.core.representation.MatrixView` and
+materializes it into the eager :class:`CompoundMatrices` container.
+Materialization amplifies memory by ~``matrix_days``x, so hot paths
+(training, scoring, streaming) use the view directly; keep this wrapper
+for small-scale inspection, display, and API stability.  The vectors
+are bit-identical to the pre-refactor implementation (pinned by
+``tests/core/test_representation.py``).
 """
 
 from __future__ import annotations
@@ -20,8 +31,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.deviation import DeviationCube, normalize_to_unit
-from repro.features.spec import FeatureSet
+from repro.core.deviation import DeviationCube
+from repro.core.representation import RepresentationPipeline
 
 
 @dataclass
@@ -49,6 +60,7 @@ class CompoundMatrices:
         if self.vectors.shape[1] != len(self.anchor_days):
             raise ValueError("vectors/anchor_days mismatch")
         self._day_index = {d: i for i, d in enumerate(self.anchor_days)}
+        self._user_index = {u: i for i, u in enumerate(self.users)}
 
     @property
     def dim(self) -> int:
@@ -60,14 +72,19 @@ class CompoundMatrices:
         except KeyError:
             raise KeyError(f"no matrix anchored at {day}") from None
 
+    def user_index(self, user: str) -> int:
+        try:
+            return self._user_index[user]
+        except KeyError:
+            raise KeyError(f"unknown user {user!r}") from None
+
     def training_set(self) -> np.ndarray:
         """All vectors pooled into a 2-D training matrix."""
         return self.vectors.reshape(-1, self.dim)
 
     def matrix_of(self, user: str, day: date, n_timeframes: int) -> np.ndarray:
         """Un-flatten one compound matrix back to (blocks*F, T, D) for display."""
-        u = self.users.index(user)
-        vec = self.vectors[u, self.day_index(day)]
+        vec = self.vectors[self.user_index(user), self.day_index(day)]
         n_rows = len(self.feature_names) * (2 if self.includes_group else 1)
         return vec.reshape(n_rows, n_timeframes, self.matrix_days)
 
@@ -81,6 +98,12 @@ def build_compound_matrices(
     feature_indices: Optional[Sequence[int]] = None,
 ) -> CompoundMatrices:
     """Assemble flattened compound matrices from a deviation cube.
+
+    This is the eager compatibility path: it materializes every vector
+    (~``matrix_days``x the base memory).  Hot paths should build a
+    :class:`~repro.core.representation.RepresentationPipeline` once and
+    iterate :class:`~repro.core.representation.MatrixView` batches
+    instead.
 
     Args:
         deviations: per-user and per-group deviations.
@@ -97,54 +120,15 @@ def build_compound_matrices(
     Returns:
         The flattened matrices, mapped to [0, 1].
     """
-    if matrix_days < 1:
-        raise ValueError(f"matrix_days must be >= 1, got {matrix_days}")
-    n_days = len(deviations.days)
-    if matrix_days > n_days:
-        raise ValueError(f"matrix_days {matrix_days} exceeds available deviation days {n_days}")
-
-    if feature_indices is None:
-        feature_indices = list(range(len(deviations.feature_set)))
-    feature_indices = list(feature_indices)
-    if not feature_indices:
-        raise ValueError("need at least one feature")
-
-    sigma = deviations.sigma[:, feature_indices]
-    weights = deviations.weights[:, feature_indices]
-    values = sigma * weights if apply_weights else sigma
-
-    if include_group:
-        g_sigma = deviations.group_sigma[:, feature_indices]
-        g_weights = deviations.group_weights[:, feature_indices]
-        g_values = g_sigma * g_weights if apply_weights else g_sigma
-        # Broadcast each user's group block.
-        g_values = g_values[deviations.group_of_user]
-        values = np.concatenate([values, g_values], axis=1)
-
-    values = normalize_to_unit(values, deviations.config.delta)
-
-    anchor_indices = []
-    for day in anchor_days:
-        j = deviations.day_index(day)
-        if j < matrix_days - 1:
-            raise ValueError(
-                f"anchor {day} needs {matrix_days - 1} prior deviation days, has {j}"
-            )
-        anchor_indices.append(j)
-
-    n_users = values.shape[0]
-    dim = values.shape[1] * values.shape[2] * matrix_days
-    vectors = np.empty((n_users, len(anchor_indices), dim))
-    for out_j, j in enumerate(anchor_indices):
-        window = values[..., j - matrix_days + 1 : j + 1]
-        vectors[:, out_j, :] = window.reshape(n_users, -1)
-
-    feature_names = [deviations.feature_set.feature_names[i] for i in feature_indices]
+    pipeline = RepresentationPipeline.from_deviations(
+        deviations, include_group=include_group, apply_weights=apply_weights
+    )
+    view = pipeline.view(anchor_days, matrix_days, feature_indices=feature_indices)
     return CompoundMatrices(
-        vectors=vectors,
-        users=list(deviations.users),
-        anchor_days=[deviations.days[j] for j in anchor_indices],
-        feature_names=feature_names,
+        vectors=view.materialize(),
+        users=view.users,
+        anchor_days=view.anchor_days,
+        feature_names=view.feature_names,
         matrix_days=matrix_days,
         includes_group=include_group,
     )

@@ -91,16 +91,16 @@ def attach_representation(
     """Rebuild the behavioural representation for a loaded model.
 
     Recomputes deviations (or normalization stats from ``train_days``)
-    over ``cube`` exactly as :meth:`CompoundBehaviorModel.fit` would,
-    validates that every restored autoencoder's input width matches the
-    cube's aspects, and marks the model fitted.
+    and the shared value pipeline over ``cube`` exactly as
+    :meth:`CompoundBehaviorModel.fit` would, validates that every
+    restored autoencoder's input width matches the cube's aspects, and
+    marks the model fitted.
 
     Raises:
         ValueError: when the cube's aspects or dimensions do not match
             the autoencoders the model was trained with.
     """
-    model._deviations = model._build_representation(cube, dict(group_map or {}), train_days)
-    model._aspects = model._resolve_aspects(cube.feature_set)
+    model._prepare_representation(cube, group_map, train_days)
 
     expected = set(a.name for a in model._aspects)
     restored = set(model._autoencoders)
@@ -113,12 +113,12 @@ def attach_representation(
         raise ValueError("cube has no day with enough history for this model's windows")
     probe = anchors[-1:]
     for aspect in model._aspects:
-        matrices = model._matrices_for(aspect, probe)
+        view = model._view_for(aspect, probe)
         autoencoder = model._autoencoders[aspect.name]
-        if matrices.dim != autoencoder.input_dim:
+        if view.dim != autoencoder.input_dim:
             raise ValueError(
                 f"dimension mismatch for aspect {aspect.name!r}: "
-                f"cube produces {matrices.dim}, autoencoder expects {autoencoder.input_dim}"
+                f"cube produces {view.dim}, autoencoder expects {autoencoder.input_dim}"
             )
     model._fitted = True
     return model

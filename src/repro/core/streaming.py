@@ -13,9 +13,13 @@ ordered investigation list for yesterday's logs.  The
   (once enough days are buffered) returns that day's per-aspect scores
   and investigation list.
 
-The deviation math is identical to the batch path: day *d* is z-scored
-against the trailing ``window - 1`` days, clamped to ±Delta, weighted by
-Eq. (1), and the matrix covers the trailing ``matrix_days`` deviations.
+The deviation math *is* the batch path's: day *d* is deviated with
+:func:`repro.core.deviation.deviate_against_history`, group averages
+come from :func:`repro.core.deviation.group_means`, and the buffered
+deviations are combined into matrix vectors by the shared
+:func:`repro.core.representation.compound_values` /
+:func:`repro.core.representation.aspect_rows` -- the same functions the
+batch pipeline uses, so there is exactly one definition of the math.
 A property test in the suite pins streaming == batch equality.
 """
 
@@ -24,13 +28,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from datetime import date
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.critic import InvestigationList, investigation_list
 from repro.core.detector import CompoundBehaviorModel
-from repro.core.deviation import feature_weights, normalize_to_unit
+from repro.core.deviation import DeviationConfig, deviate_against_history, group_means
+from repro.core.representation import aspect_rows, compound_values
 
 
 @dataclass
@@ -77,6 +82,9 @@ class StreamingDetector:
         self._group_of_user = np.array([self._group_index[group_map[u]] for u in self.users])
 
         cfg = model.config
+        self._dev_config = DeviationConfig(
+            window=cfg.window, delta=cfg.delta, epsilon=cfg.epsilon
+        )
         self._history: Deque[np.ndarray] = deque(maxlen=cfg.window - 1)
         self._sigma_buffer: Deque[Tuple[np.ndarray, np.ndarray]] = deque(maxlen=cfg.matrix_days)
         self._group_sigma_buffer: Deque[Tuple[np.ndarray, np.ndarray]] = deque(
@@ -118,19 +126,28 @@ class StreamingDetector:
         slab = np.asarray(slab, dtype=np.float64)
         if slab.ndim != 3 or slab.shape[0] != len(self.users):
             raise ValueError(f"expected (n_users, F, T) slab, got {slab.shape}")
+        if not np.isfinite(slab).all():
+            bad = np.argwhere(~np.isfinite(slab))
+            raise ValueError(
+                f"slab for {day} contains {bad.shape[0]} non-finite value(s) "
+                f"(NaN/inf); first at (user, feature, timeframe)="
+                f"{tuple(int(i) for i in bad[0])} -- non-finite measurements "
+                f"would silently poison the rolling history"
+            )
         if self._last_day is not None and day <= self._last_day:
             raise ValueError(f"days must be strictly increasing ({day} after {self._last_day})")
         self._last_day = day
 
-        cfg = self.model.config
         if len(self._history) == self._history.maxlen:
             history = np.stack(self._history, axis=-1)  # (U, F, T, w-1)
-            sigma, weights = self._deviate(slab, history)
-            self._sigma_buffer.append((sigma, weights))
-            group_slab = self._group_mean(slab)
-            group_history = self._group_mean_stack(history)
-            g_sigma, g_weights = self._deviate(group_slab, group_history)
-            self._group_sigma_buffer.append((g_sigma, g_weights))
+            self._sigma_buffer.append(
+                deviate_against_history(slab, history, self._dev_config)
+            )
+            group_slab = group_means(slab, self._group_of_user, len(self.groups))
+            group_history = group_means(history, self._group_of_user, len(self.groups))
+            self._group_sigma_buffer.append(
+                deviate_against_history(group_slab, group_history, self._dev_config)
+            )
         self._history.append(slab)
 
         if not self.ready:
@@ -138,25 +155,6 @@ class StreamingDetector:
         return self._emit(day)
 
     # ------------------------------------------------------------------
-    def _deviate(self, current: np.ndarray, history: np.ndarray):
-        cfg = self.model.config
-        mean = history.mean(axis=-1)
-        std = np.maximum(history.std(axis=-1), cfg.epsilon)
-        sigma = np.clip((current - mean) / std, -cfg.delta, cfg.delta)
-        return sigma, feature_weights(std)
-
-    def _group_mean(self, slab: np.ndarray) -> np.ndarray:
-        out = np.zeros((len(self.groups),) + slab.shape[1:])
-        for gi in range(len(self.groups)):
-            out[gi] = slab[self._group_of_user == gi].mean(axis=0)
-        return out
-
-    def _group_mean_stack(self, history: np.ndarray) -> np.ndarray:
-        out = np.zeros((len(self.groups),) + history.shape[1:])
-        for gi in range(len(self.groups)):
-            out[gi] = history[self._group_of_user == gi].mean(axis=0)
-        return out
-
     def _emit(self, day: date) -> DailyResult:
         cfg = self.model.config
         sigmas = np.stack([s for s, _ in self._sigma_buffer], axis=-1)  # (U,F,T,D)
@@ -164,12 +162,16 @@ class StreamingDetector:
         g_sigmas = np.stack([s for s, _ in self._group_sigma_buffer], axis=-1)
         g_weights = np.stack([w for _, w in self._group_sigma_buffer], axis=-1)
 
-        values = sigmas * weights if cfg.apply_weights else sigmas
-        if cfg.include_group:
-            g_values = g_sigmas * g_weights if cfg.apply_weights else g_sigmas
-            g_values = g_values[self._group_of_user]
-            values = np.concatenate([values, g_values], axis=1)
-        values = normalize_to_unit(values, cfg.delta)
+        values = compound_values(
+            sigmas,
+            weights,
+            g_sigmas,
+            g_weights,
+            self._group_of_user,
+            include_group=cfg.include_group,
+            apply_weights=cfg.apply_weights,
+            delta=cfg.delta,
+        )
 
         feature_set = self.model.deviations.feature_set
         n_features = len(feature_set)
@@ -179,9 +181,8 @@ class StreamingDetector:
                 indices = list(range(n_features))
             else:
                 indices = feature_set.aspect_indices(aspect)
-            if cfg.include_group:
-                indices = indices + [n_features + i for i in indices]
-            vectors = values[:, indices].reshape(len(self.users), -1)
+            rows = aspect_rows(indices, n_features, cfg.include_group)
+            vectors = values[:, rows].reshape(len(self.users), -1)
             autoencoder = self.model.autoencoder(aspect)
             scores[aspect] = autoencoder.reconstruction_error(vectors)
 

@@ -345,15 +345,21 @@ def run_model(
     benchmark: CertBenchmark,
     cube: Optional[MeasurementCube] = None,
     verbose: bool = False,
+    score_batch_size: int = 1024,
 ) -> ModelRun:
-    """Fit a model on the benchmark's training period and score the test."""
+    """Fit a model on the benchmark's training period and score the test.
+
+    ``score_batch_size`` bounds how many flattened matrix vectors are
+    materialized at once during scoring (errors are per-row, so any
+    value yields identical scores).
+    """
     cube = cube if cube is not None else benchmark.cube
     model.fit(cube, benchmark.group_map, benchmark.train_days, verbose=verbose)
     test_anchors = model.valid_anchor_days(benchmark.test_days)
     if not test_anchors:
         raise ValueError("no test day has enough history to score")
-    scores = model.score(test_anchors)
-    investigation = model.investigate(test_anchors)
+    scores = model.score(test_anchors, batch_size=score_batch_size)
+    investigation = model.investigate(test_anchors, batch_size=score_batch_size)
     return ModelRun(
         name=model.config.name,
         users=model.users,
@@ -595,7 +601,7 @@ class CaseStudyRun:
 
 
 def run_case_study(
-    benchmark: CaseStudyBenchmark, verbose: bool = False
+    benchmark: CaseStudyBenchmark, verbose: bool = False, score_batch_size: int = 1024
 ) -> CaseStudyRun:
     """Fit ACOBE on the case study and track the victim's daily rank."""
     from repro.core.detector import ModelConfig
@@ -614,8 +620,8 @@ def run_case_study(
     )
     model.fit(benchmark.cube, None, benchmark.train_days, verbose=verbose)
     test_anchors = model.valid_anchor_days(benchmark.test_days)
-    scores = model.score(test_anchors)
-    investigation = model.investigate(test_anchors)
+    scores = model.score(test_anchors, batch_size=score_batch_size)
+    investigation = model.investigate(test_anchors, batch_size=score_batch_size)
     run = ModelRun(
         name="ACOBE",
         users=model.users,

@@ -13,6 +13,9 @@ top of numpy with hand-written, gradient-checked backpropagation:
 * :mod:`repro.nn.optimizers` -- SGD, Momentum, RMSProp, Adadelta and Adam.
 * :mod:`repro.nn.network` -- a ``Sequential`` container with a mini-batch
   training loop (shuffling, validation split, early stopping).
+* :mod:`repro.nn.data` -- the lazy *row source* protocol the training
+  loop accepts alongside dense arrays (e.g. zero-copy compound-matrix
+  views).
 * :mod:`repro.nn.autoencoder` -- the deep fully-connected autoencoder used
   throughout the paper (encoder 512/256/128/64, mirrored decoder).
 * :mod:`repro.nn.gradcheck` -- finite-difference gradient checking used by
@@ -24,6 +27,7 @@ top of numpy with hand-written, gradient-checked backpropagation:
 """
 
 from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+from repro.nn.data import ArrayRowSource, input_dim_of, is_row_source, n_samples_of
 from repro.nn.layers import (
     BatchNormalization,
     Dense,
@@ -54,6 +58,7 @@ from repro.nn.serialization import (
 __all__ = [
     "Adadelta",
     "Adam",
+    "ArrayRowSource",
     "AspectTask",
     "Autoencoder",
     "AutoencoderConfig",
@@ -76,7 +81,10 @@ __all__ = [
     "TrainedAspect",
     "TrainingHistory",
     "derive_seed",
+    "input_dim_of",
+    "is_row_source",
     "load_network",
+    "n_samples_of",
     "network_from_bytes",
     "network_to_bytes",
     "resolve_n_jobs",

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.data import is_row_source
 from repro.nn.layers import BatchNormalization, Dense, Layer, get_activation
 from repro.nn.losses import MeanAbsoluteError, MeanSquaredError
 from repro.nn.network import Sequential, TrainingHistory
@@ -122,11 +123,23 @@ class Autoencoder:
         optimizer: Optional[Union[str, Optimizer]] = None,
         verbose: bool = False,
     ) -> TrainingHistory:
-        """Train the autoencoder to reconstruct ``x`` (normal data only)."""
-        x = self._validate(x)
+        """Train the autoencoder to reconstruct ``x`` (normal data only).
+
+        ``x`` may be a dense ``(n, input_dim)`` array or a row source
+        (:mod:`repro.nn.data`, e.g. a
+        :class:`repro.core.representation.MatrixView`) whose mini-batches
+        are gathered lazily -- both train bit-identically.
+        """
+        if is_row_source(x):
+            if int(x.dim) != self.input_dim:
+                raise ValueError(f"expected rows of width {self.input_dim}, got {x.dim}")
+            n_samples = len(x)
+        else:
+            x = self._validate(x)
+            n_samples = x.shape[0]
         cfg = self.config
         # A validation split needs at least a handful of rows on each side.
-        split = cfg.validation_split if x.shape[0] >= 10 else 0.0
+        split = cfg.validation_split if n_samples >= 10 else 0.0
         history = self.network.fit(
             x,
             epochs=cfg.epochs,
@@ -140,9 +153,9 @@ class Autoencoder:
         self._fitted = True
         return history
 
-    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+    def reconstruct(self, x: np.ndarray, batch_size: int = 1024) -> np.ndarray:
         """Inference-mode reconstruction of ``x``."""
-        return self.network.predict(self._validate(x))
+        return self.network.predict(self._validate(x), batch_size=batch_size)
 
     def encode(self, x: np.ndarray) -> np.ndarray:
         """Return the bottleneck code for ``x``.
@@ -162,15 +175,34 @@ class Autoencoder:
                 return x
         raise RuntimeError("bottleneck activation not found")  # pragma: no cover
 
-    def reconstruction_error(self, x: np.ndarray, metric: str = "mse") -> np.ndarray:
-        """Per-sample anomaly score: reconstruction error of each row."""
-        x = self._validate(x)
-        recon = self.reconstruct(x)
+    def reconstruction_error(
+        self, x: np.ndarray, metric: str = "mse", batch_size: int = 1024
+    ) -> np.ndarray:
+        """Per-sample anomaly score: reconstruction error of each row.
+
+        Accepts a dense array or a row source (:mod:`repro.nn.data`);
+        row sources are scored in ``batch_size`` chunks so only one
+        batch of flattened vectors is ever materialized.  Scores are
+        per-row, hence identical either way.
+        """
         if metric == "mse":
-            return MeanSquaredError.per_sample(x, recon)
-        if metric == "mae":
-            return MeanAbsoluteError.per_sample(x, recon)
-        raise ValueError(f"unknown metric {metric!r}; expected 'mse' or 'mae'")
+            per_sample = MeanSquaredError.per_sample
+        elif metric == "mae":
+            per_sample = MeanAbsoluteError.per_sample
+        else:
+            raise ValueError(f"unknown metric {metric!r}; expected 'mse' or 'mae'")
+        if is_row_source(x):
+            if int(x.dim) != self.input_dim:
+                raise ValueError(f"expected rows of width {self.input_dim}, got {x.dim}")
+            n = len(x)
+            errors = np.empty(n)
+            for start in range(0, n, batch_size):
+                idx = np.arange(start, min(start + batch_size, n))
+                xb = np.asarray(x.rows(idx), dtype=np.float64)
+                errors[idx] = per_sample(xb, self.network.predict(xb, batch_size=batch_size))
+            return errors
+        x = self._validate(x)
+        return per_sample(x, self.reconstruct(x, batch_size=batch_size))
 
     def _validate(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)

@@ -1,4 +1,11 @@
-"""A Sequential container with a Keras-like mini-batch training loop."""
+"""A Sequential container with a Keras-like mini-batch training loop.
+
+Training data may be a dense ``(n, dim)`` array or any *row source*
+(see :mod:`repro.nn.data`) -- a lazy object handing out row subsets per
+mini-batch, so e.g. compound-matrix views train without the pooled
+tensor ever being materialized.  Both paths draw the same RNG sequence
+and select the same rows, so they produce bit-identical weights.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.nn.data import is_row_source
 from repro.nn.layers import Layer, Parameter
 from repro.nn.losses import Loss, get_loss
 from repro.nn.optimizers import Optimizer, get_optimizer
@@ -138,7 +146,11 @@ class Sequential:
         """Train with mini-batch gradient descent.
 
         Args:
-            x: training inputs, shape ``(n, input_dim)``.
+            x: training inputs -- a ``(n, input_dim)`` array, or a row
+                source (:mod:`repro.nn.data`) whose mini-batches are
+                gathered lazily; the row-source path is reconstruction
+                only (``y`` must be None) and trains bit-identically to
+                passing the materialized array.
             y: targets; defaults to ``x`` (autoencoder reconstruction).
             epochs: maximum number of passes over the data.
             batch_size: mini-batch size.
@@ -155,44 +167,58 @@ class Sequential:
         Returns:
             A :class:`TrainingHistory` with per-epoch losses.
         """
-        x = np.asarray(x, dtype=self.dtype)
-        y = x if y is None else np.asarray(y, dtype=self.dtype)
-        if x.shape[0] != y.shape[0]:
-            raise ValueError(f"x and y row counts differ: {x.shape[0]} vs {y.shape[0]}")
-        if x.shape[0] == 0:
+        if is_row_source(x):
+            if y is not None:
+                raise ValueError("row-source training is reconstruction-only (y must be None)")
+            source, width, n_total = x, int(x.dim), len(x)
+
+            def fetch(idx: np.ndarray):
+                xb = np.asarray(source.rows(idx), dtype=self.dtype)
+                return xb, xb
+
+        else:
+            x = np.asarray(x, dtype=self.dtype)
+            y = x if y is None else np.asarray(y, dtype=self.dtype)
+            if x.shape[0] != y.shape[0]:
+                raise ValueError(f"x and y row counts differ: {x.shape[0]} vs {y.shape[0]}")
+            width, n_total = x.shape[1], x.shape[0]
+
+            def fetch(idx: np.ndarray):
+                return x[idx], y[idx]
+
+        if n_total == 0:
             raise ValueError("cannot fit on an empty dataset")
         if not 0.0 <= validation_split < 1.0:
             raise ValueError(f"validation_split must be in [0, 1), got {validation_split}")
         if not self.built:
-            self.build(x.shape[1])
+            self.build(width)
 
         loss_fn = get_loss(loss) if isinstance(loss, str) else loss
         opt = get_optimizer(optimizer) if isinstance(optimizer, str) else optimizer
 
-        n_val = int(round(x.shape[0] * validation_split))
+        n_val = int(round(n_total * validation_split))
         if n_val > 0:
-            perm = self._rng.permutation(x.shape[0])
-            x, y = x[perm], y[perm]
-            x_val, y_val = x[-n_val:], y[-n_val:]
-            x_train, y_train = x[:-n_val], y[:-n_val]
-            if x_train.shape[0] == 0:
+            perm = self._rng.permutation(n_total)
+            train_idx = perm[:-n_val]
+            if train_idx.shape[0] == 0:
                 raise ValueError("validation_split leaves no training data")
+            x_val, y_val = fetch(perm[-n_val:])
         else:
             x_val = y_val = None
-            x_train, y_train = x, y
+            train_idx = np.arange(n_total)
 
         history = TrainingHistory()
         params = self.parameters()
         best_monitor = np.inf
         stale_epochs = 0
-        n = x_train.shape[0]
+        n = train_idx.shape[0]
 
         for epoch in range(epochs):
             order = self._rng.permutation(n) if shuffle else np.arange(n)
             epoch_loss = 0.0
             for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
-                xb, yb = x_train[idx], y_train[idx]
+                idx = train_idx[order[start : start + batch_size]]
+                xb, yb = fetch(idx)
                 pred = self.forward(xb, training=True)
                 epoch_loss += loss_fn.value(yb, pred) * len(idx)
                 self.backward(loss_fn.gradient(yb, pred))

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+from repro.nn.data import input_dim_of, is_row_source
 from repro.nn.network import TrainingHistory
 from repro.nn.serialization import network_from_bytes, network_to_bytes
 
@@ -76,13 +77,22 @@ class AspectTask:
     ``config.seed`` must already be the *derived* per-aspect seed; the
     engine does not re-derive so that the task alone fully determines
     the trained weights.
+
+    ``data`` is either a dense ``(n_samples, input_dim)`` matrix or a
+    row source (:mod:`repro.nn.data`, e.g. a compound-matrix view) that
+    gathers mini-batches lazily; row sources pickle at their compact
+    size, so fan-out never ships a materialized training tensor.
     """
 
     name: str
-    data: np.ndarray  # training matrix, shape (n_samples, input_dim)
+    data: object  # (n_samples, input_dim) matrix, or a row source
     config: AutoencoderConfig
 
     def __post_init__(self) -> None:
+        if is_row_source(self.data):
+            if len(self.data) == 0:
+                raise ValueError(f"task {self.name!r} has an empty row source")
+            return
         data = np.asarray(self.data)
         if data.ndim != 2 or data.shape[0] == 0:
             raise ValueError(
@@ -117,7 +127,7 @@ def resolve_n_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
 
 def _train_serial(task: AspectTask, verbose: bool = False) -> TrainedAspect:
     """Train one task in the current process."""
-    ae = Autoencoder(input_dim=task.data.shape[1], config=task.config)
+    ae = Autoencoder(input_dim=input_dim_of(task.data), config=task.config)
     history = ae.fit(task.data, verbose=verbose)
     return TrainedAspect(name=task.name, autoencoder=ae, history=history)
 
@@ -135,7 +145,7 @@ def _train_in_worker(task: AspectTask) -> Tuple[str, TrainingHistory, bytes]:
 
 def _rebuild(task: AspectTask, history: TrainingHistory, payload: bytes) -> TrainedAspect:
     """Reconstitute a worker's result in the parent process."""
-    ae = Autoencoder(input_dim=task.data.shape[1], config=task.config)
+    ae = Autoencoder(input_dim=input_dim_of(task.data), config=task.config)
     network_from_bytes(ae.network, payload)
     ae._fitted = True  # weights are trained; loading replaces fit()
     return TrainedAspect(name=task.name, autoencoder=ae, history=history)

@@ -122,6 +122,18 @@ class TestStreamingGuards:
         with pytest.raises(ValueError):
             stream.observe_day(DAYS[0], np.zeros((2, 3)))
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_slab(self, cube, group_map, fitted, bad):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        slab = cube.values[:, :, :, 0].copy()
+        slab[1, 0, 1] = bad
+        with pytest.raises(ValueError, match="non-finite"):
+            stream.observe_day(DAYS[0], slab)
+        # The poisoned slab must not have entered the rolling history.
+        assert len(stream._history) == 0
+        out = stream.observe_day(DAYS[0], cube.values[:, :, :, 0])
+        assert out is None and len(stream._history) == 1
+
     def test_warm_up_requires_matching_users(self, cube, group_map, fitted):
         stream = StreamingDetector(fitted, cube.users[:-1] + ["zz"], group_map | {"zz": "g1"})
         with pytest.raises(ValueError, match="users differ"):
