@@ -15,13 +15,20 @@ marker, so ``pytest -m "not benchmark"`` excludes the suite wholesale.
 
 Each figure's regenerated text output is printed and also written to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference it.
+Performance benchmarks additionally persist machine-readable
+measurements as ``benchmarks/results/BENCH_<name>.json`` (the
+``acobe.bench`` schema from :mod:`repro.obs.report`), which is what the
+perf trajectory across PRs is tracked from.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, Mapping, Optional
 
 import pytest
+
+from repro.obs import build_bench_report, write_report
 
 from repro.core import (
     make_acobe,
@@ -102,3 +109,20 @@ def save_result(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====")
     print(text)
+
+
+def save_result_json(
+    name: str,
+    metrics: Mapping[str, Any],
+    params: Optional[Mapping[str, Any]] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Persist one benchmark measurement as ``results/BENCH_<name>.json``.
+
+    The document is the schema-validated ``acobe.bench`` envelope, the
+    same family the run-report exporter writes, so the performance
+    trajectory is machine-readable across PRs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = build_bench_report(name, metrics, params=params, meta=meta)
+    return write_report(RESULTS_DIR / f"BENCH_{name}.json", report)

@@ -12,7 +12,8 @@ This benchmark builds both paths over the same synthetic deviation
 cube, measures peak traced memory (``tracemalloc`` tracks numpy's
 allocations) and build/consume wall-clock, asserts the view path stays
 under half the materialized peak, and records the numbers to
-``benchmarks/results/matrix_memory.txt``.
+``benchmarks/results/matrix_memory.txt`` plus the machine-readable
+``benchmarks/results/BENCH_matrix_memory.json``.
 """
 
 import gc
@@ -30,7 +31,7 @@ from repro.features.measurements import MeasurementCube
 from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
 from repro.utils.timeutil import TWO_TIMEFRAMES
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import save_result, save_result_json
 
 N_USERS = 32
 N_DAYS = 150
@@ -103,6 +104,28 @@ def test_view_path_halves_peak_memory():
 
     mib = 1024 * 1024
     ru_maxrss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    save_result_json(
+        "matrix_memory",
+        metrics={
+            "materialized_peak_bytes": int(peak_mat),
+            "view_peak_bytes": int(peak_view),
+            "peak_ratio": peak_view / peak_mat,
+            "materialized_bytes": int(materialized_bytes),
+            "base_array_bytes": int(base_bytes),
+            "amplification": materialized_bytes / base_bytes,
+            "materialized_build_seconds": t_mat,
+            "view_build_consume_seconds": t_view,
+            "ru_maxrss_bytes": int(ru_maxrss_kib) * 1024,
+        },
+        params={
+            "users": N_USERS,
+            "days": N_DAYS,
+            "window": WINDOW,
+            "matrix_days": MATRIX_DAYS,
+            "batch": BATCH,
+            "peak_ratio_ceiling": PEAK_RATIO_CEILING,
+        },
+    )
     save_result(
         "matrix_memory",
         "\n".join(

@@ -3,7 +3,8 @@
 Trains the same >= 4-aspect autoencoder ensemble with ``n_jobs=1`` and
 ``n_jobs=4`` through :func:`repro.nn.parallel.train_ensemble`, verifies
 the outputs are bit-identical, and records both wall-clock times (and
-the speedup) to ``benchmarks/results/parallel_speedup.txt``.
+the speedup) to ``benchmarks/results/parallel_speedup.txt`` plus the
+machine-readable ``benchmarks/results/BENCH_parallel_speedup.json``.
 
 The >= 1.5x speedup assertion only runs on machines with at least four
 CPU cores -- on fewer cores the parallel run cannot beat serial and the
@@ -19,7 +20,7 @@ import pytest
 from repro.nn.autoencoder import AutoencoderConfig
 from repro.nn.parallel import AspectTask, derive_seed, train_ensemble
 
-from .conftest import save_result
+from .conftest import save_result, save_result_json
 
 N_ASPECTS = 6
 N_JOBS = 4
@@ -79,6 +80,25 @@ def test_parallel_speedup_and_parity():
     lines.append("parity: parallel scores and loss curves bit-identical to serial")
 
     save_result("parallel_speedup", "\n".join(lines))
+    save_result_json(
+        "parallel_speedup",
+        metrics={
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": speedup,
+            "parity": True,
+        },
+        params={
+            "aspects": N_ASPECTS,
+            "n_jobs": N_JOBS,
+            "encoder_units": [128, 64, 32],
+            "epochs": 25,
+            "samples": 180,
+            "dim": 240,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        meta={"cpu_cores": cores},
+    )
 
     if cores < N_JOBS:
         pytest.skip(

@@ -10,6 +10,13 @@ Commands:
   print the victim's daily investigation rank.
 * ``presets`` -- show the benchmark scale presets.
 
+``detect`` additionally supports the observability layer
+(:mod:`repro.obs`): ``--trace`` prints the per-stage span tree after
+the run, ``--metrics-out PATH`` writes the schema-versioned JSON run
+report (span timings, merged metrics, per-aspect training curves).
+Setting ``ACOBE_TELEMETRY=1`` (or ``mem``) in the environment enables
+telemetry for every command without flags.
+
 The CLI is a thin shell over the public API; every command maps onto
 calls documented in README.md.
 """
@@ -85,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="matrix vectors materialized per scoring batch (memory knob; "
         "scores are identical at any value)",
     )
+    p_det.add_argument(
+        "--trace", action="store_true",
+        help="enable telemetry and print the per-stage span tree after the run "
+        "(zero numerical impact; also honours ACOBE_TELEMETRY)",
+    )
+    p_det.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the JSON run report (span timings, metrics, per-aspect "
+        "training curves) to PATH; implies telemetry",
+    )
 
     p_case = sub.add_parser("case-study", help="run an enterprise attack case study")
     p_case.add_argument("attack", choices=("zeus", "wannacry"))
@@ -128,6 +145,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_detect(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
+    from repro.obs import (
+        Telemetry,
+        build_run_report,
+        format_span_tree,
+        get_telemetry,
+        set_telemetry,
+        write_report,
+    )
+
+    telemetry = get_telemetry()
+    if (args.trace or args.metrics_out) and not telemetry.enabled:
+        telemetry = Telemetry(enabled=True, trace_memory=telemetry.trace_memory)
+        set_telemetry(telemetry)
+
     config = cert_config(args.scale)
     if args.seed is not None:
         config = replace(config, seed=args.seed)
@@ -153,6 +184,27 @@ def cmd_detect(args: argparse.Namespace) -> int:
     metrics = evaluate_run(run, benchmark.labels)
     print(f"AUC={metrics.auc:.4f}  AP={metrics.average_precision:.4f}  "
           f"FPs-before-TPs={metrics.fps_before_tps}")
+
+    if args.trace:
+        print("\n-- span tree ".ljust(40, "-"))
+        print(format_span_tree(telemetry))
+    if args.metrics_out:
+        report = build_run_report(
+            telemetry,
+            training_histories=model.training_histories,
+            name=f"detect-{args.model}",
+            meta={
+                "model": model.config.name,
+                "scale": config.name,
+                "seed": config.seed,
+                "n_jobs": args.jobs,
+                "users": len(benchmark.cube.users),
+                "auc": metrics.auc,
+                "average_precision": metrics.average_precision,
+            },
+        )
+        path = write_report(args.metrics_out, report)
+        print(f"wrote run report to {path}")
     return 0
 
 

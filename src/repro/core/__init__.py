@@ -22,7 +22,7 @@
 from repro.core.critic import InvestigationList, investigation_list, rank_users
 from repro.core.critic_advanced import AdvancedCritic, classify_waveform, spike_score
 from repro.core.persistence import attach_representation, load_model, save_model
-from repro.core.streaming import DailyResult, StreamingDetector
+from repro.core.streaming import DailyResult, ScoreSummary, StreamingDetector
 from repro.core.detector import (
     CompoundBehaviorModel,
     ModelConfig,
@@ -53,6 +53,7 @@ __all__ = [
     "AdvancedCritic",
     "CompoundBehaviorModel",
     "DailyResult",
+    "ScoreSummary",
     "StreamingDetector",
     "attach_representation",
     "classify_waveform",

@@ -44,6 +44,7 @@ from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
 from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
 from repro.nn.network import TrainingHistory
 from repro.nn.parallel import AspectTask, derive_seed, train_ensemble
+from repro.obs import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -141,34 +142,44 @@ class CompoundBehaviorModel:
                 training set; only days with enough history are used.
         """
         cfg = self.config
-        self._prepare_representation(cube, group_map, train_days)
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "detector.fit", model=cfg.name, n_jobs=cfg.n_jobs
+        ) as span:
+            with telemetry.span("detector.representation"):
+                self._prepare_representation(cube, group_map, train_days)
 
-        anchors = self.valid_anchor_days(train_days)
-        if not anchors:
-            raise ValueError(
-                "no training day has enough history "
-                f"(window={cfg.window}, matrix_days={cfg.matrix_days})"
+            anchors = self.valid_anchor_days(train_days)
+            if not anchors:
+                raise ValueError(
+                    "no training day has enough history "
+                    f"(window={cfg.window}, matrix_days={cfg.matrix_days})"
+                )
+            anchors = anchors[:: cfg.train_stride]
+            span.annotate(
+                users=len(self._deviations.users),
+                aspects=len(self._aspects),
+                train_anchors=len(anchors),
             )
-        anchors = anchors[:: cfg.train_stride]
 
-        # One self-contained task per aspect: the derived seed makes each
-        # autoencoder's training independent of execution order, so the
-        # ensemble can fan out over processes with bit-identical results.
-        # Each task carries a zero-copy MatrixView (a lazy row source) --
-        # training streams mini-batches out of the shared value array
-        # instead of materializing the pooled (users*anchors, dim) tensor.
-        tasks = []
-        for index, aspect in enumerate(self._aspects):
-            view = self._view_for(aspect, anchors)
-            ae_config = replace(
-                cfg.autoencoder, seed=derive_seed(cfg.autoencoder.seed, index)
-            )
-            tasks.append(AspectTask(aspect.name, view, ae_config))
+            # One self-contained task per aspect: the derived seed makes each
+            # autoencoder's training independent of execution order, so the
+            # ensemble can fan out over processes with bit-identical results.
+            # Each task carries a zero-copy MatrixView (a lazy row source) --
+            # training streams mini-batches out of the shared value array
+            # instead of materializing the pooled (users*anchors, dim) tensor.
+            tasks = []
+            for index, aspect in enumerate(self._aspects):
+                view = self._view_for(aspect, anchors)
+                ae_config = replace(
+                    cfg.autoencoder, seed=derive_seed(cfg.autoencoder.seed, index)
+                )
+                tasks.append(AspectTask(aspect.name, view, ae_config))
 
-        trained = train_ensemble(tasks, n_jobs=cfg.n_jobs, verbose=verbose)
-        self._autoencoders = {name: t.autoencoder for name, t in trained.items()}
-        self._histories = {name: t.history for name, t in trained.items()}
-        self._fitted = True
+            trained = train_ensemble(tasks, n_jobs=cfg.n_jobs, verbose=verbose)
+            self._autoencoders = {name: t.autoencoder for name, t in trained.items()}
+            self._histories = {name: t.history for name, t in trained.items()}
+            self._fitted = True
         return self
 
     def score(self, days: Sequence[date], batch_size: int = 1024) -> Dict[str, np.ndarray]:
@@ -184,12 +195,20 @@ class CompoundBehaviorModel:
         """
         self._require_fitted()
         days = list(days)
+        telemetry = get_telemetry()
         scores: Dict[str, np.ndarray] = {}
-        for aspect in self._aspects:
-            view = self._view_for(aspect, days)
-            ae = self._autoencoders[aspect.name]
-            errors = ae.reconstruction_error(view, batch_size=batch_size)
-            scores[aspect.name] = errors.reshape(view.n_users, view.n_anchors)
+        with telemetry.span(
+            "detector.score", model=self.config.name, days=len(days)
+        ):
+            for aspect in self._aspects:
+                with telemetry.span("detector.score.aspect", aspect=aspect.name):
+                    view = self._view_for(aspect, days)
+                    ae = self._autoencoders[aspect.name]
+                    errors = ae.reconstruction_error(view, batch_size=batch_size)
+                    scores[aspect.name] = errors.reshape(view.n_users, view.n_anchors)
+                telemetry.counter("detector.scored_vectors_total").inc(
+                    view.n_users * view.n_anchors
+                )
         return scores
 
     def investigate(
@@ -207,13 +226,19 @@ class CompoundBehaviorModel:
         """
         if reduce not in ("max", "mean"):
             raise ValueError(f"reduce must be 'max' or 'mean', got {reduce!r}")
-        scores = self.score(days, batch_size=batch_size)
-        users = self._deviations.users
-        aspect_scores = {}
-        for name, array in scores.items():
-            reduced = array.max(axis=1) if reduce == "max" else array.mean(axis=1)
-            aspect_scores[name] = {user: float(reduced[i]) for i, user in enumerate(users)}
-        return investigation_list(aspect_scores, n_votes or self.config.critic_n)
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "detector.investigate", model=self.config.name, reduce=reduce
+        ):
+            scores = self.score(days, batch_size=batch_size)
+            users = self._deviations.users
+            aspect_scores = {}
+            for name, array in scores.items():
+                reduced = array.max(axis=1) if reduce == "max" else array.mean(axis=1)
+                aspect_scores[name] = {
+                    user: float(reduced[i]) for i, user in enumerate(users)
+                }
+            return investigation_list(aspect_scores, n_votes or self.config.critic_n)
 
     def valid_anchor_days(self, days: Sequence[date]) -> List[date]:
         """The subset of ``days`` with enough history for a matrix."""

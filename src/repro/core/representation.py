@@ -44,6 +44,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.deviation import DeviationCube, group_means, normalize_to_unit
+from repro.obs import get_telemetry
 
 __all__ = [
     "MatrixView",
@@ -280,16 +281,26 @@ class RepresentationPipeline:
         apply_weights: bool = True,
     ) -> "RepresentationPipeline":
         """Combine a deviation cube into one shared value array."""
-        values = compound_values(
-            deviations.sigma,
-            deviations.weights,
-            deviations.group_sigma,
-            deviations.group_weights,
-            deviations.group_of_user,
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "representation.build",
+            users=len(deviations.users),
+            days=len(deviations.days),
+            features=len(deviations.feature_set.feature_names),
             include_group=include_group,
-            apply_weights=apply_weights,
-            delta=deviations.config.delta,
-        )
+        ) as span:
+            values = compound_values(
+                deviations.sigma,
+                deviations.weights,
+                deviations.group_sigma,
+                deviations.group_weights,
+                deviations.group_of_user,
+                include_group=include_group,
+                apply_weights=apply_weights,
+                delta=deviations.config.delta,
+            )
+            span.annotate(value_bytes=int(values.nbytes))
+            telemetry.gauge("representation.value_bytes").set(values.nbytes)
         return cls(
             values=values,
             users=deviations.users,

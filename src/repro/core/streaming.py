@@ -25,8 +25,9 @@ A property test in the suite pins streaming == batch equality.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import date
 from typing import Deque, Dict, Mapping, Optional, Sequence, Tuple
 
@@ -36,15 +37,48 @@ from repro.core.critic import InvestigationList, investigation_list
 from repro.core.detector import CompoundBehaviorModel
 from repro.core.deviation import DeviationConfig, deviate_against_history, group_means
 from repro.core.representation import aspect_rows, compound_values
+from repro.obs import get_telemetry
+
+
+@dataclass(frozen=True)
+class ScoreSummary:
+    """Distribution summary of one aspect's emitted scores on one day.
+
+    The per-day series of these summaries is the drift-monitoring
+    signal: a median that trends away from the training period means
+    the score distribution has shifted and thresholds/rankings need a
+    second look (cf. adaptive-filter monitoring).
+    """
+
+    min: float
+    median: float
+    max: float
+
+    @classmethod
+    def from_scores(cls, scores: np.ndarray) -> "ScoreSummary":
+        return cls(
+            min=float(np.min(scores)),
+            median=float(np.median(scores)),
+            max=float(np.max(scores)),
+        )
 
 
 @dataclass
 class DailyResult:
-    """One streamed day's output."""
+    """One streamed day's output.
+
+    ``latency_seconds`` is the wall-clock cost of the
+    :meth:`StreamingDetector.observe_day` call that produced this
+    result; ``score_summary`` summarizes each aspect's emitted score
+    distribution (min/median/max over users) for drift monitoring.
+    Both are observational -- scores and rankings never depend on them.
+    """
 
     day: date
     scores: Dict[str, np.ndarray]  # aspect -> (n_users,)
     investigation: InvestigationList
+    latency_seconds: float = 0.0
+    score_summary: Dict[str, ScoreSummary] = field(default_factory=dict)
 
     def rank_of(self, user: str) -> int:
         return self.investigation.position_of(user)
@@ -123,6 +157,8 @@ class StreamingDetector:
             A :class:`DailyResult` when the rolling buffers are full,
             else None (still warming up).
         """
+        start = time.perf_counter()
+        telemetry = get_telemetry()
         slab = np.asarray(slab, dtype=np.float64)
         if slab.ndim != 3 or slab.shape[0] != len(self.users):
             raise ValueError(f"expected (n_users, F, T) slab, got {slab.shape}")
@@ -151,8 +187,21 @@ class StreamingDetector:
         self._history.append(slab)
 
         if not self.ready:
+            elapsed = time.perf_counter() - start
+            telemetry.counter("streaming.days_total").inc()
+            telemetry.histogram("streaming.day_seconds").observe(elapsed)
             return None
-        return self._emit(day)
+        with telemetry.span("streaming.observe_day", day=str(day)) as span:
+            result = self._emit(day)
+        result.latency_seconds = time.perf_counter() - start
+        span.annotate(latency_seconds=result.latency_seconds)
+        telemetry.counter("streaming.days_total").inc()
+        telemetry.counter("streaming.days_scored").inc()
+        telemetry.histogram("streaming.day_seconds").observe(result.latency_seconds)
+        for aspect, summary in result.score_summary.items():
+            telemetry.histogram(f"streaming.score_median.{aspect}").observe(summary.median)
+            telemetry.histogram(f"streaming.score_max.{aspect}").observe(summary.max)
+        return result
 
     # ------------------------------------------------------------------
     def _emit(self, day: date) -> DailyResult:
@@ -194,4 +243,7 @@ class StreamingDetector:
             day=day,
             scores=scores,
             investigation=investigation_list(aspect_scores, cfg.critic_n),
+            score_summary={
+                aspect: ScoreSummary.from_scores(arr) for aspect, arr in scores.items()
+            },
         )

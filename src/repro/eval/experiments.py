@@ -54,6 +54,7 @@ from repro.features.cert import extract_baseline_measurements, extract_cert_meas
 from repro.features.enterprise import extract_enterprise_measurements
 from repro.features.measurements import MeasurementCube
 from repro.nn.autoencoder import AutoencoderConfig
+from repro.obs import get_telemetry
 
 #: The paper's CERT evaluation starts on this date.
 CERT_START = date(2010, 1, 2)
@@ -354,12 +355,19 @@ def run_model(
     value yields identical scores).
     """
     cube = cube if cube is not None else benchmark.cube
-    model.fit(cube, benchmark.group_map, benchmark.train_days, verbose=verbose)
-    test_anchors = model.valid_anchor_days(benchmark.test_days)
-    if not test_anchors:
-        raise ValueError("no test day has enough history to score")
-    scores = model.score(test_anchors, batch_size=score_batch_size)
-    investigation = model.investigate(test_anchors, batch_size=score_batch_size)
+    with get_telemetry().span(
+        "eval.run_model",
+        model=model.config.name,
+        benchmark=benchmark.config.name,
+        users=len(cube.users),
+    ) as span:
+        model.fit(cube, benchmark.group_map, benchmark.train_days, verbose=verbose)
+        test_anchors = model.valid_anchor_days(benchmark.test_days)
+        if not test_anchors:
+            raise ValueError("no test day has enough history to score")
+        span.annotate(test_anchors=len(test_anchors))
+        scores = model.score(test_anchors, batch_size=score_batch_size)
+        investigation = model.investigate(test_anchors, batch_size=score_batch_size)
     return ModelRun(
         name=model.config.name,
         users=model.users,

@@ -38,6 +38,7 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
+from repro.nn.callbacks import Callback, CallbackList, EpochLogger, TelemetryCallback
 from repro.nn.losses import Loss, MeanAbsoluteError, MeanSquaredError
 from repro.nn.network import Sequential, TrainingHistory
 from repro.nn.optimizers import SGD, Adadelta, Adam, Momentum, Optimizer, RMSProp
@@ -63,8 +64,11 @@ __all__ = [
     "Autoencoder",
     "AutoencoderConfig",
     "BatchNormalization",
+    "Callback",
+    "CallbackList",
     "Dense",
     "Dropout",
+    "EpochLogger",
     "LeakyReLU",
     "Linear",
     "Loss",
@@ -78,6 +82,7 @@ __all__ = [
     "SGD",
     "Sigmoid",
     "Tanh",
+    "TelemetryCallback",
     "TrainedAspect",
     "TrainingHistory",
     "derive_seed",

@@ -122,13 +122,16 @@ class Autoencoder:
         x: np.ndarray,
         optimizer: Optional[Union[str, Optimizer]] = None,
         verbose: bool = False,
+        callbacks: Optional[Sequence] = None,
     ) -> TrainingHistory:
         """Train the autoencoder to reconstruct ``x`` (normal data only).
 
         ``x`` may be a dense ``(n, input_dim)`` array or a row source
         (:mod:`repro.nn.data`, e.g. a
         :class:`repro.core.representation.MatrixView`) whose mini-batches
-        are gathered lazily -- both train bit-identically.
+        are gathered lazily -- both train bit-identically.  ``callbacks``
+        are forwarded to :meth:`Sequential.fit`
+        (:mod:`repro.nn.callbacks`).
         """
         if is_row_source(x):
             if int(x.dim) != self.input_dim:
@@ -149,6 +152,7 @@ class Autoencoder:
             validation_split=split,
             early_stopping_patience=cfg.early_stopping_patience,
             verbose=verbose,
+            callbacks=callbacks,
         )
         self._fitted = True
         return history

@@ -1,0 +1,111 @@
+"""Training callbacks: the observable face of ``Sequential.fit``.
+
+The training loop drives a small Keras-style protocol instead of
+printing ad hoc.  A callback is any object implementing a subset of:
+
+* ``on_train_begin(logs)`` -- once, before the first epoch.  ``logs``
+  carries ``epochs``, ``n_samples``, ``batch_size``.
+* ``on_epoch_end(epoch, logs)`` -- after every epoch.  ``logs`` carries
+  ``epoch`` (0-based), ``epochs``, ``loss``, ``val_loss`` (None without
+  a validation split), ``grad_norm`` (global L2 norm of the last
+  mini-batch's gradients), ``learning_rate`` and ``iterations`` (the
+  optimizer's state).
+* ``on_train_end(history)`` -- once, with the final
+  :class:`~repro.nn.network.TrainingHistory`.
+
+The protocol is duck-typed; missing methods are skipped.  Callbacks
+observe -- they must not mutate parameters or optimizer state, which is
+what keeps training bit-identical with or without them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Callback", "CallbackList", "EpochLogger", "TelemetryCallback"]
+
+
+class Callback:
+    """Optional base class with every hook stubbed out."""
+
+    def on_train_begin(self, logs: Dict[str, Any]) -> None:
+        pass
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, Any]) -> None:
+        pass
+
+    def on_train_end(self, history) -> None:
+        pass
+
+
+class CallbackList:
+    """Dispatches each hook to every callback that implements it."""
+
+    def __init__(self, callbacks: Optional[Iterable] = None):
+        self.callbacks: List = [c for c in (callbacks or []) if c is not None]
+
+    def __bool__(self) -> bool:
+        return bool(self.callbacks)
+
+    def _dispatch(self, hook: str, *args) -> None:
+        for callback in self.callbacks:
+            method = getattr(callback, hook, None)
+            if method is not None:
+                method(*args)
+
+    def on_train_begin(self, logs: Dict[str, Any]) -> None:
+        self._dispatch("on_train_begin", logs)
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, Any]) -> None:
+        self._dispatch("on_epoch_end", epoch, logs)
+
+    def on_train_end(self, history) -> None:
+        self._dispatch("on_train_end", history)
+
+
+class EpochLogger(Callback):
+    """One line per epoch through an injectable sink (default: print).
+
+    This is the ``verbose=True`` path of :meth:`Sequential.fit`; tests
+    capture the lines by passing their own sink instead of scraping
+    stdout.
+    """
+
+    def __init__(self, sink=print):
+        self.sink = sink
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, Any]) -> None:
+        message = f"epoch {logs['epoch'] + 1}/{logs['epochs']} loss={logs['loss']:.6f}"
+        if logs.get("val_loss") is not None:
+            message += f" val_loss={logs['val_loss']:.6f}"
+        self.sink(message)
+
+
+class TelemetryCallback(Callback):
+    """Records per-epoch training dynamics into a telemetry registry.
+
+    Metrics (under ``prefix``, default ``nn``): ``<prefix>.epoch_loss``
+    and ``<prefix>.val_loss`` histograms, a ``<prefix>.grad_norm``
+    gauge (the latest value; divergence shows up as a growing norm) and
+    an ``<prefix>.epochs`` counter.
+    """
+
+    def __init__(self, telemetry=None, prefix: str = "nn"):
+        self._telemetry = telemetry
+        self.prefix = prefix
+
+    @property
+    def telemetry(self):
+        if self._telemetry is not None:
+            return self._telemetry
+        from repro.obs import get_telemetry
+
+        return get_telemetry()
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, Any]) -> None:
+        telemetry = self.telemetry
+        telemetry.histogram(f"{self.prefix}.epoch_loss").observe(logs["loss"])
+        if logs.get("val_loss") is not None:
+            telemetry.histogram(f"{self.prefix}.val_loss").observe(logs["val_loss"])
+        telemetry.gauge(f"{self.prefix}.grad_norm").set(logs["grad_norm"])
+        telemetry.counter(f"{self.prefix}.epochs").inc()

@@ -14,18 +14,26 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.nn.callbacks import CallbackList, EpochLogger
 from repro.nn.data import is_row_source
 from repro.nn.layers import Layer, Parameter
 from repro.nn.losses import Loss, get_loss
 from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.obs import get_telemetry
 
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch loss curves produced by :meth:`Sequential.fit`."""
+    """Per-epoch training curves produced by :meth:`Sequential.fit`.
+
+    ``grad_norm`` holds the global L2 norm of the last mini-batch's
+    gradients at each epoch end -- a cheap divergence signal (a curve
+    that grows instead of decaying means training is blowing up).
+    """
 
     loss: List[float] = field(default_factory=list)
     val_loss: List[float] = field(default_factory=list)
+    grad_norm: List[float] = field(default_factory=list)
 
     @property
     def epochs_trained(self) -> int:
@@ -142,6 +150,7 @@ class Sequential:
         early_stopping_patience: Optional[int] = None,
         min_delta: float = 0.0,
         verbose: bool = False,
+        callbacks: Optional[Sequence] = None,
     ) -> TrainingHistory:
         """Train with mini-batch gradient descent.
 
@@ -162,7 +171,12 @@ class Sequential:
             early_stopping_patience: stop after this many epochs without
                 ``min_delta`` improvement in the monitored loss
                 (validation loss when a split is used, else training loss).
-            verbose: print one line per epoch.
+            verbose: print one line per epoch (an
+                :class:`~repro.nn.callbacks.EpochLogger` appended to
+                ``callbacks``).
+            callbacks: objects implementing (a subset of) the callback
+                protocol in :mod:`repro.nn.callbacks`; they observe
+                training without affecting its numerics.
 
         Returns:
             A :class:`TrainingHistory` with per-epoch losses.
@@ -212,42 +226,75 @@ class Sequential:
         best_monitor = np.inf
         stale_epochs = 0
         n = train_idx.shape[0]
+        n_batches = 0
 
-        for epoch in range(epochs):
-            order = self._rng.permutation(n) if shuffle else np.arange(n)
-            epoch_loss = 0.0
-            for start in range(0, n, batch_size):
-                idx = train_idx[order[start : start + batch_size]]
-                xb, yb = fetch(idx)
-                pred = self.forward(xb, training=True)
-                epoch_loss += loss_fn.value(yb, pred) * len(idx)
-                self.backward(loss_fn.gradient(yb, pred))
-                opt.step(params)
-            epoch_loss /= n
-            history.loss.append(epoch_loss)
+        callback_list = CallbackList(callbacks)
+        if verbose:
+            callback_list.callbacks.append(EpochLogger())
+        telemetry = get_telemetry()
 
-            if x_val is not None:
-                val_pred = self.predict(x_val)
-                val_loss = loss_fn.value(y_val, val_pred)
-                history.val_loss.append(val_loss)
-                monitor = val_loss
-            else:
-                monitor = epoch_loss
+        with telemetry.span(
+            "nn.fit", samples=int(n), input_dim=int(width), batch_size=batch_size
+        ) as span:
+            callback_list.on_train_begin(
+                {"epochs": epochs, "n_samples": int(n), "batch_size": batch_size}
+            )
+            for epoch in range(epochs):
+                order = self._rng.permutation(n) if shuffle else np.arange(n)
+                epoch_loss = 0.0
+                for start in range(0, n, batch_size):
+                    idx = train_idx[order[start : start + batch_size]]
+                    xb, yb = fetch(idx)
+                    pred = self.forward(xb, training=True)
+                    epoch_loss += loss_fn.value(yb, pred) * len(idx)
+                    self.backward(loss_fn.gradient(yb, pred))
+                    opt.step(params)
+                    n_batches += 1
+                epoch_loss /= n
+                history.loss.append(epoch_loss)
+                # Read-only diagnostic of the last mini-batch's gradients;
+                # computed unconditionally so the history is the same with
+                # and without observers attached.
+                grad_norm = float(
+                    np.sqrt(sum(float(np.sum(np.square(p.grad))) for p in params))
+                )
+                history.grad_norm.append(grad_norm)
 
-            if verbose:  # pragma: no cover - console output
-                msg = f"epoch {epoch + 1}/{epochs} loss={epoch_loss:.6f}"
                 if x_val is not None:
-                    msg += f" val_loss={history.val_loss[-1]:.6f}"
-                print(msg)
-
-            if early_stopping_patience is not None:
-                if monitor < best_monitor - min_delta:
-                    best_monitor = monitor
-                    stale_epochs = 0
+                    val_pred = self.predict(x_val)
+                    val_loss = loss_fn.value(y_val, val_pred)
+                    history.val_loss.append(val_loss)
+                    monitor = val_loss
                 else:
-                    stale_epochs += 1
-                    if stale_epochs >= early_stopping_patience:
-                        break
+                    val_loss = None
+                    monitor = epoch_loss
+
+                callback_list.on_epoch_end(
+                    epoch,
+                    {
+                        "epoch": epoch,
+                        "epochs": epochs,
+                        "loss": epoch_loss,
+                        "val_loss": val_loss,
+                        "grad_norm": grad_norm,
+                        "learning_rate": float(opt.learning_rate),
+                        "iterations": int(opt.iterations),
+                    },
+                )
+
+                if early_stopping_patience is not None:
+                    if monitor < best_monitor - min_delta:
+                        best_monitor = monitor
+                        stale_epochs = 0
+                    else:
+                        stale_epochs += 1
+                        if stale_epochs >= early_stopping_patience:
+                            break
+            callback_list.on_train_end(history)
+            span.annotate(epochs_trained=history.epochs_trained)
+        telemetry.counter("nn.epochs_total").inc(history.epochs_trained)
+        telemetry.counter("nn.batches_total").inc(n_batches)
+        telemetry.counter("nn.fits_total").inc()
         return history
 
     def evaluate(self, x: np.ndarray, y: Optional[np.ndarray] = None, loss: Union[str, Loss] = "mse") -> float:

@@ -21,6 +21,14 @@ Determinism is an explicit contract:
   (:func:`~repro.nn.serialization.network_to_bytes`), which preserves
   every float bit, including BatchNormalization running statistics.
 
+Telemetry (:mod:`repro.obs`) crosses the process boundary the same way:
+when the parent's telemetry is enabled, each worker records its own
+span tree and metrics into a fresh per-task :class:`~repro.obs.Telemetry`,
+serializes the snapshot alongside the weights, and the parent merges
+every snapshot back in -- so parallel training is exactly as
+inspectable as serial, and merged counters equal the serial run's
+(``nn.epochs_total`` etc. are sums of per-task contributions).
+
 Platforms without the ``fork`` start method (and sandboxes where
 process pools cannot be created at all) silently fall back to the
 same-process serial path, which is result-identical by construction.
@@ -37,9 +45,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
-from repro.nn.data import input_dim_of, is_row_source
+from repro.nn.data import input_dim_of, is_row_source, n_samples_of
 from repro.nn.network import TrainingHistory
 from repro.nn.serialization import network_from_bytes, network_to_bytes
+from repro.obs import Telemetry, get_telemetry, set_telemetry
 
 __all__ = [
     "AspectTask",
@@ -127,20 +136,47 @@ def resolve_n_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
 
 def _train_serial(task: AspectTask, verbose: bool = False) -> TrainedAspect:
     """Train one task in the current process."""
+    telemetry = get_telemetry()
     ae = Autoencoder(input_dim=input_dim_of(task.data), config=task.config)
-    history = ae.fit(task.data, verbose=verbose)
+    with telemetry.span(
+        "train.aspect",
+        aspect=task.name,
+        samples=n_samples_of(task.data),
+        input_dim=ae.input_dim,
+    ) as span:
+        history = ae.fit(task.data, verbose=verbose)
+        span.annotate(epochs_trained=history.epochs_trained)
+    telemetry.counter("train.aspects_total").inc()
+    if history.loss:
+        telemetry.histogram("train.final_loss").observe(history.loss[-1])
     return TrainedAspect(name=task.name, autoencoder=ae, history=history)
 
 
-def _train_in_worker(task: AspectTask) -> Tuple[str, TrainingHistory, bytes]:
-    """Worker entry point: train and ship the weights back as bytes.
+def _train_in_worker(
+    task: AspectTask,
+) -> Tuple[str, TrainingHistory, bytes, Optional[dict]]:
+    """Worker entry point: train and ship weights + telemetry back.
 
-    Module-level so it pickles under every start method.  The payload is
-    the serialization archive rather than the Autoencoder object itself,
-    keeping the IPC surface down to a documented, versionable format.
+    Module-level so it pickles under every start method.  The weight
+    payload is the serialization archive rather than the Autoencoder
+    object itself, keeping the IPC surface down to a documented,
+    versionable format.  When the parent's telemetry is enabled (the
+    state is inherited through ``fork``), the task trains under a fresh
+    worker-local :class:`~repro.obs.Telemetry` whose snapshot travels
+    back as the fourth element for the parent to merge.
     """
-    trained = _train_serial(task)
-    return task.name, trained.history, network_to_bytes(trained.autoencoder.network)
+    parent = get_telemetry()
+    if not parent.enabled:
+        trained = _train_serial(task)
+        return task.name, trained.history, network_to_bytes(trained.autoencoder.network), None
+    local = Telemetry(enabled=True, trace_memory=parent.trace_memory)
+    previous = set_telemetry(local)
+    try:
+        trained = _train_serial(task)
+    finally:
+        set_telemetry(previous)
+    payload = network_to_bytes(trained.autoencoder.network)
+    return task.name, trained.history, payload, local.snapshot()
 
 
 def _rebuild(task: AspectTask, history: TrainingHistory, payload: bytes) -> TrainedAspect:
@@ -181,21 +217,39 @@ def train_ensemble(
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate task names: {names}")
 
+    telemetry = get_telemetry()
     workers = resolve_n_jobs(n_jobs, len(tasks))
     context = _fork_context()
-    if workers == 1 or context is None:
+
+    def train_all_serial() -> Dict[str, TrainedAspect]:
         return {t.name: _train_serial(t, verbose=verbose) for t in tasks}
 
-    try:
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [pool.submit(_train_in_worker, task) for task in tasks]
-            results = [f.result() for f in futures]
-    except (OSError, PermissionError):
-        # Sandboxes without working semaphores / process spawning: the
-        # serial path is result-identical, so degrade silently.
-        return {t.name: _train_serial(t, verbose=verbose) for t in tasks}
+    with telemetry.span(
+        "parallel.train_ensemble", tasks=len(tasks), n_jobs=workers
+    ) as span:
+        telemetry.counter("parallel.tasks_total").inc(len(tasks))
+        if workers == 1 or context is None:
+            span.annotate(mode="serial")
+            return train_all_serial()
 
-    trained = {}
-    for task, (name, history, payload) in zip(tasks, results):
-        trained[name] = _rebuild(task, history, payload)
-    return trained
+        try:
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                futures = [pool.submit(_train_in_worker, task) for task in tasks]
+                results = [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Sandboxes without working semaphores / process spawning: the
+            # serial path is result-identical, so degrade silently.
+            span.annotate(mode="serial-fallback")
+            return train_all_serial()
+
+        span.annotate(mode="parallel")
+        telemetry.gauge("parallel.pool_workers").set(workers)
+        trained = {}
+        merged = 0
+        for task, (name, history, payload, snapshot) in zip(tasks, results):
+            trained[name] = _rebuild(task, history, payload)
+            if snapshot is not None:
+                telemetry.merge(snapshot)
+                merged += 1
+        telemetry.counter("parallel.snapshots_merged").inc(merged)
+        return trained

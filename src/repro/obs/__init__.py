@@ -1,0 +1,62 @@
+"""``repro.obs``: the observability layer (spans, metrics, run reports).
+
+Zero-dependency telemetry for the ACOBE pipeline.  Disabled by default
+and guaranteed to have no numerical impact; enable per process with
+``ACOBE_TELEMETRY=1`` (or ``mem`` for tracemalloc peaks), per run with
+``repro detect --trace``, or programmatically::
+
+    from repro.obs import Telemetry, set_telemetry, get_telemetry
+
+    set_telemetry(Telemetry(enabled=True))
+    model.fit(cube, group_map, train_days)
+    print(format_span_tree(get_telemetry()))
+
+See docs/API.md ("Observability") for span/metric naming conventions
+and the JSON run-report schema.
+"""
+
+from repro.obs.report import (
+    BENCH_SCHEMA,
+    RUN_REPORT_SCHEMA,
+    SCHEMA_VERSION,
+    build_bench_report,
+    build_run_report,
+    format_span_tree,
+    validate_bench_report,
+    validate_run_report,
+    write_report,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_ENV_VAR,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanRecord,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_from_env,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RUN_REPORT_SCHEMA",
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "TELEMETRY_ENV_VAR",
+    "Telemetry",
+    "build_bench_report",
+    "build_run_report",
+    "format_span_tree",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_from_env",
+    "validate_bench_report",
+    "validate_run_report",
+    "write_report",
+]

@@ -1,0 +1,226 @@
+"""Structured run reports: the JSON face of the telemetry layer.
+
+Two schema-versioned document families share one envelope (``schema``,
+``version``, ``name``, ``generated_at``, ``meta``):
+
+* ``acobe.run_report`` -- one detection run: per-stage span timings,
+  merged metrics (histograms summarized, raw values preserved) and the
+  per-aspect training curves.  Produced by ``repro detect --trace
+  --metrics-out PATH`` and by :func:`build_run_report` directly.
+* ``acobe.bench`` -- one benchmark measurement, written as
+  ``benchmarks/results/BENCH_<name>.json`` so the performance
+  trajectory is machine-readable across PRs.
+
+Both validators are deliberately dependency-free (no jsonschema): they
+check the envelope and the field types the consumers rely on, raising
+``ValueError`` with the offending path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.obs.telemetry import Histogram, SpanRecord, Telemetry
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "RUN_REPORT_SCHEMA",
+    "SCHEMA_VERSION",
+    "build_bench_report",
+    "build_run_report",
+    "format_span_tree",
+    "validate_bench_report",
+    "validate_run_report",
+    "write_report",
+]
+
+RUN_REPORT_SCHEMA = "acobe.run_report"
+BENCH_SCHEMA = "acobe.bench"
+SCHEMA_VERSION = 1
+
+
+def _envelope(schema: str, name: str, meta: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    return {
+        "schema": schema,
+        "version": SCHEMA_VERSION,
+        "name": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
+        "meta": dict(meta or {}),
+    }
+
+
+def _summarize_histograms(raw: Mapping[str, list]) -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for name, values in raw.items():
+        histogram = Histogram()
+        histogram.values = list(values)
+        out[name] = {"summary": histogram.summary(), "values": list(values)}
+    return out
+
+
+def build_run_report(
+    telemetry: Telemetry,
+    training_histories: Optional[Mapping[str, Any]] = None,
+    name: str = "run",
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Render a telemetry capture (plus training curves) as one document.
+
+    Args:
+        telemetry: the capture to export (span forest + metrics).
+        training_histories: aspect name -> ``TrainingHistory`` (e.g.
+            ``CompoundBehaviorModel.training_histories``); serialized as
+            per-aspect loss/val-loss/grad-norm curves.
+        name / meta: envelope fields (model name, scale, seed, ...).
+    """
+    snapshot = telemetry.snapshot()
+    document = _envelope(RUN_REPORT_SCHEMA, name, meta)
+    document["spans"] = snapshot["spans"]
+    document["metrics"] = {
+        "counters": snapshot["metrics"]["counters"],
+        "gauges": snapshot["metrics"]["gauges"],
+        "histograms": _summarize_histograms(snapshot["metrics"]["histograms"]),
+    }
+    training: Dict[str, dict] = {}
+    for aspect, history in (training_histories or {}).items():
+        training[aspect] = {
+            "epochs": history.epochs_trained,
+            "loss": [float(v) for v in history.loss],
+            "val_loss": [float(v) for v in history.val_loss],
+            "grad_norm": [float(v) for v in getattr(history, "grad_norm", [])],
+        }
+    document["training"] = training
+    return document
+
+
+def build_bench_report(
+    name: str,
+    metrics: Mapping[str, Any],
+    params: Optional[Mapping[str, Any]] = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One benchmark measurement in the shared envelope.
+
+    ``metrics`` holds the measured numbers (seconds, bytes, ratios);
+    ``params`` the workload configuration that produced them.
+    """
+    document = _envelope(BENCH_SCHEMA, name, meta)
+    document["params"] = dict(params or {})
+    document["metrics"] = dict(metrics)
+    return document
+
+
+def write_report(path: Union[str, Path], document: Mapping[str, Any]) -> Path:
+    """Validate and write a report document as indented JSON."""
+    schema = document.get("schema")
+    if schema == RUN_REPORT_SCHEMA:
+        validate_run_report(document)
+    elif schema == BENCH_SCHEMA:
+        validate_bench_report(document)
+    else:
+        raise ValueError(f"unknown report schema {schema!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def _check(condition: bool, where: str, expected: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid report: {where}: expected {expected}")
+
+
+def _validate_envelope(document: Mapping[str, Any], schema: str) -> None:
+    _check(isinstance(document, Mapping), "$", "a mapping")
+    _check(document.get("schema") == schema, "schema", repr(schema))
+    _check(isinstance(document.get("version"), int), "version", "an int")
+    _check(document.get("version") >= 1, "version", ">= 1")
+    _check(isinstance(document.get("name"), str), "name", "a string")
+    _check(isinstance(document.get("generated_at"), str), "generated_at", "a string")
+    _check(isinstance(document.get("meta"), Mapping), "meta", "a mapping")
+
+
+def _validate_span(doc: Mapping[str, Any], where: str) -> None:
+    _check(isinstance(doc, Mapping), where, "a mapping")
+    _check(isinstance(doc.get("name"), str), f"{where}.name", "a string")
+    for key in ("wall_seconds", "cpu_seconds"):
+        _check(isinstance(doc.get(key), (int, float)), f"{where}.{key}", "a number")
+    for i, child in enumerate(doc.get("children", [])):
+        _validate_span(child, f"{where}.children[{i}]")
+
+
+def validate_run_report(document: Mapping[str, Any]) -> None:
+    """Raise ValueError unless ``document`` is a valid run report."""
+    _validate_envelope(document, RUN_REPORT_SCHEMA)
+    _check(isinstance(document.get("spans"), list), "spans", "a list")
+    for i, span in enumerate(document["spans"]):
+        _validate_span(span, f"spans[{i}]")
+    metrics = document.get("metrics")
+    _check(isinstance(metrics, Mapping), "metrics", "a mapping")
+    for key in ("counters", "gauges", "histograms"):
+        _check(isinstance(metrics.get(key), Mapping), f"metrics.{key}", "a mapping")
+    for name, value in metrics["counters"].items():
+        _check(isinstance(value, int), f"metrics.counters[{name!r}]", "an int")
+    for name, entry in metrics["histograms"].items():
+        where = f"metrics.histograms[{name!r}]"
+        _check(isinstance(entry, Mapping), where, "a mapping")
+        _check(isinstance(entry.get("summary"), Mapping), f"{where}.summary", "a mapping")
+        _check(isinstance(entry.get("values"), list), f"{where}.values", "a list")
+    training = document.get("training")
+    _check(isinstance(training, Mapping), "training", "a mapping")
+    for aspect, curves in training.items():
+        where = f"training[{aspect!r}]"
+        _check(isinstance(curves, Mapping), where, "a mapping")
+        _check(isinstance(curves.get("epochs"), int), f"{where}.epochs", "an int")
+        for key in ("loss", "val_loss", "grad_norm"):
+            _check(isinstance(curves.get(key), list), f"{where}.{key}", "a list")
+
+
+def validate_bench_report(document: Mapping[str, Any]) -> None:
+    """Raise ValueError unless ``document`` is a valid benchmark report."""
+    _validate_envelope(document, BENCH_SCHEMA)
+    _check(isinstance(document.get("params"), Mapping), "params", "a mapping")
+    metrics = document.get("metrics")
+    _check(isinstance(metrics, Mapping), "metrics", "a mapping")
+    _check(len(metrics) > 0, "metrics", "at least one entry")
+
+
+# ---------------------------------------------------------------------------
+# Human-readable span rendering (``detect --trace``)
+# ---------------------------------------------------------------------------
+
+
+def format_span_tree(telemetry: Telemetry, min_wall_seconds: float = 0.0) -> str:
+    """An indented text rendering of the span forest with timings."""
+    lines: list = []
+
+    def render(record: SpanRecord, depth: int) -> None:
+        if record.wall_seconds < min_wall_seconds and depth > 0:
+            return
+        parts = [
+            f"{'  ' * depth}{record.name}",
+            f"wall={record.wall_seconds * 1000:.1f}ms",
+            f"cpu={record.cpu_seconds * 1000:.1f}ms",
+        ]
+        if record.mem_peak_bytes is not None:
+            parts.append(f"mem_peak={record.mem_peak_bytes / (1024 * 1024):.1f}MiB")
+        if record.attributes:
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(record.attributes.items()))
+            parts.append(attrs)
+        lines.append("  ".join(parts))
+        for child in record.children:
+            render(child, depth + 1)
+
+    for root in telemetry.spans:
+        render(root, 0)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)

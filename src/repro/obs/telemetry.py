@@ -1,0 +1,402 @@
+"""Zero-dependency telemetry: spans, counters, gauges, histograms.
+
+The observability layer answers the operational questions the detector
+cannot answer about itself -- where did the time and memory go, did any
+aspect's training diverge, how do score distributions drift day to day
+-- without ever touching the numerics.  Three guarantees:
+
+* **Disabled by default, bit-identical either way.**  Every hook in the
+  pipeline goes through a :class:`Telemetry` object; when it is disabled
+  (the default) ``span()`` hands back a shared no-op context manager and
+  ``counter()``/``gauge()``/``histogram()`` hand back shared no-op
+  instruments, so the hot path pays one attribute check and no
+  allocation.  Nothing observed ever feeds back into model state, so
+  scores and rankings are bit-identical with telemetry on or off (pinned
+  by ``tests/core/test_telemetry_determinism.py``).
+* **Injectable, with a process-global default.**  Library code calls
+  :func:`get_telemetry`; embedders may :func:`set_telemetry` their own
+  instance (tests do), and the default instance is configured once from
+  the ``ACOBE_TELEMETRY`` environment variable (``1``/``on`` enables,
+  ``mem`` additionally records ``tracemalloc`` peaks).
+* **Mergeable across processes.**  :meth:`Telemetry.snapshot` renders
+  the span forest and metrics as a plain JSON-able dict;
+  :meth:`Telemetry.merge` folds such a snapshot back in (counters sum,
+  histograms concatenate, span trees attach under the currently open
+  span), which is how parallel ensemble-training workers stay as
+  inspectable as serial training (:mod:`repro.nn.parallel`).
+
+Naming convention: dotted lowercase paths, ``<layer>.<operation>``
+(``detector.fit``, ``nn.epochs_total``, ``streaming.day_seconds``);
+per-entity series append the entity last (``streaming.score_max.http``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_from_env",
+]
+
+TELEMETRY_ENV_VAR = "ACOBE_TELEMETRY"
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpanRecord:
+    """One timed stage: wall/CPU duration, attributes and child spans."""
+
+    name: str
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    mem_peak_bytes: Optional[int] = None
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.attributes:
+            doc["attributes"] = dict(self.attributes)
+        if self.mem_peak_bytes is not None:
+            doc["mem_peak_bytes"] = self.mem_peak_bytes
+        if self.children:
+            doc["children"] = [child.to_dict() for child in self.children]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "SpanRecord":
+        return cls(
+            name=doc["name"],
+            wall_seconds=float(doc.get("wall_seconds", 0.0)),
+            cpu_seconds=float(doc.get("cpu_seconds", 0.0)),
+            attributes=dict(doc.get("attributes", {})),
+            mem_peak_bytes=doc.get("mem_peak_bytes"),
+            children=[cls.from_dict(c) for c in doc.get("children", [])],
+        )
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """Depth-first traversal of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def annotate(self, **attributes) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanHandle:
+    """Context manager recording one :class:`SpanRecord` on a telemetry."""
+
+    __slots__ = ("_telemetry", "_record", "_wall0", "_cpu0")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attributes: Dict[str, Any]):
+        self._telemetry = telemetry
+        self._record = SpanRecord(name=name, attributes=attributes)
+
+    def __enter__(self) -> "_SpanHandle":
+        telemetry = self._telemetry
+        stack = telemetry._stack
+        parent = stack[-1].children if stack else telemetry.spans
+        parent.append(self._record)
+        stack.append(self._record)
+        if telemetry.trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        record = self._record
+        record.wall_seconds = time.perf_counter() - self._wall0
+        record.cpu_seconds = time.process_time() - self._cpu0
+        if self._telemetry.trace_memory and tracemalloc.is_tracing():
+            # Process-wide traced peak observed by span exit; nested spans
+            # therefore report monotonically non-decreasing peaks.
+            record.mem_peak_bytes = tracemalloc.get_traced_memory()[1]
+        stack = self._telemetry._stack
+        if stack and stack[-1] is record:
+            stack.pop()
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes discovered mid-span (counts, shapes, ...)."""
+        self._record.attributes.update(attributes)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing total (events, epochs, batches)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (pool size, array bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A series of observations with summary statistics on demand."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def summary(self) -> Dict[str, float]:
+        """count/min/median/max/mean of everything observed so far."""
+        values = self.values
+        if not values:
+            return {"count": 0}
+        ordered = sorted(values)
+        n = len(ordered)
+        mid = n // 2
+        median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+        return {
+            "count": n,
+            "min": ordered[0],
+            "median": median,
+            "max": ordered[-1],
+            "mean": sum(ordered) / n,
+        }
+
+
+class _NoopInstrument:
+    """Absorbs every metric call while telemetry is off."""
+
+    __slots__ = ()
+    value = 0
+    values: List[float] = []
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with snapshot/merge support."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            return self.counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            return self.gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            return self.histograms.setdefault(name, Histogram())
+
+    def snapshot(self) -> dict:
+        """A plain-dict rendering (for IPC and the run report)."""
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {name: list(h.values) for name, h in self.histograms.items()},
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot in: counters sum, gauges overwrite, histograms extend."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, values in snapshot.get("histograms", {}).items():
+            self.histogram(name).values.extend(float(v) for v in values)
+
+
+# ---------------------------------------------------------------------------
+# The Telemetry facade
+# ---------------------------------------------------------------------------
+
+
+class Telemetry:
+    """Span tracer + metrics registry behind one enable switch.
+
+    Single-threaded by design (the pipeline parallelizes across
+    *processes*; each process owns its instance and snapshots travel
+    back explicitly).
+    """
+
+    def __init__(self, enabled: bool = False, trace_memory: bool = False):
+        self.enabled = bool(enabled)
+        self.trace_memory = bool(trace_memory)
+        self.metrics = MetricsRegistry()
+        self.spans: List[SpanRecord] = []  # completed + in-flight root spans
+        self._stack: List[SpanRecord] = []
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, **attributes):
+        """A context manager timing one named stage (no-op when disabled)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanHandle(self, name, attributes)
+
+    def find_span(self, name: str) -> Optional[SpanRecord]:
+        """The first span named ``name`` in depth-first order, if any."""
+        for root in self.spans:
+            for record in root.walk():
+                if record.name == name:
+                    return record
+        return None
+
+    def iter_spans(self) -> Iterator[SpanRecord]:
+        """Every recorded span, depth-first across the forest."""
+        for root in self.spans:
+            yield from root.walk()
+
+    # -- metrics --------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name) if self.enabled else _NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name) if self.enabled else _NOOP_INSTRUMENT
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name) if self.enabled else _NOOP_INSTRUMENT
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able rendering of the span forest and all metrics."""
+        return {
+            "spans": [span.to_dict() for span in self.spans],
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def merge(self, snapshot: Optional[Mapping[str, Any]]) -> None:
+        """Fold another process's snapshot into this telemetry.
+
+        Span trees attach as children of the currently open span (or as
+        new roots outside any span); counters sum, histograms
+        concatenate, gauges take the snapshot's value.  Merging is how a
+        parent reconstructs a faithful picture of work fanned out to
+        worker processes.
+        """
+        if not snapshot or not self.enabled:
+            return
+        parent = self._stack[-1].children if self._stack else self.spans
+        for doc in snapshot.get("spans", []):
+            parent.append(SpanRecord.from_dict(doc))
+        self.metrics.merge(snapshot.get("metrics", {}))
+
+    def reset(self) -> None:
+        """Drop every recorded span and metric (keeps the enable state)."""
+        self.metrics = MetricsRegistry()
+        self.spans = []
+        self._stack = []
+
+
+# ---------------------------------------------------------------------------
+# Process-global instance
+# ---------------------------------------------------------------------------
+
+_GLOBAL: Optional[Telemetry] = None
+
+
+def telemetry_from_env(environ: Optional[Mapping[str, str]] = None) -> Telemetry:
+    """A fresh Telemetry configured from ``ACOBE_TELEMETRY``.
+
+    Unset/``0``/``off``/``false`` -> disabled (the default); ``mem`` or
+    ``memory`` -> enabled with ``tracemalloc`` peak tracking; any other
+    value (``1``, ``on``, ``trace`` ...) -> enabled.
+    """
+    raw = (environ if environ is not None else os.environ).get(TELEMETRY_ENV_VAR, "")
+    raw = raw.strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return Telemetry(enabled=False)
+    return Telemetry(enabled=True, trace_memory=raw in ("mem", "memory"))
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global telemetry (created from the env on first use)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = telemetry_from_env()
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install ``telemetry`` as the process-global instance.
+
+    Passing None re-arms lazy env-based initialization.  Returns the
+    previous instance so callers (tests, workers) can restore it.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = telemetry
+    return previous

@@ -138,3 +138,84 @@ class TestStreamingGuards:
         stream = StreamingDetector(fitted, cube.users[:-1] + ["zz"], group_map | {"zz": "g1"})
         with pytest.raises(ValueError, match="users differ"):
             stream.warm_up(cube)
+
+
+class TestStreamingTelemetry:
+    """Per-day latency and score-distribution summaries on DailyResult."""
+
+    BURST_DAY = 30  # well past the 8-day warm-up, so it is a scored day
+    BURST_USER = 0
+
+    def stream_all(self, cube, group_map, fitted, burst=False):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        results = {}
+        for d, day in enumerate(DAYS):
+            slab = cube.values[:, :, :, d]
+            if burst and d == self.BURST_DAY:
+                slab = slab.copy()
+                slab[self.BURST_USER] *= 25.0
+            out = stream.observe_day(day, slab)
+            if out is not None:
+                results[d] = out
+        return results
+
+    def test_results_carry_latency_and_summaries(self, cube, group_map, fitted):
+        results = self.stream_all(cube, group_map, fitted)
+        for result in results.values():
+            assert result.latency_seconds > 0.0
+            assert set(result.score_summary) == set(result.scores)
+            for aspect, summary in result.score_summary.items():
+                scores = result.scores[aspect]
+                assert summary.min <= summary.median <= summary.max
+                assert summary.min == pytest.approx(float(np.min(scores)))
+                assert summary.max == pytest.approx(float(np.max(scores)))
+
+    def test_summaries_are_purely_observational(self, cube, group_map, fitted):
+        from repro.obs import Telemetry, set_telemetry
+
+        quiet = self.stream_all(cube, group_map, fitted)
+        previous = set_telemetry(Telemetry(enabled=True))
+        try:
+            observed = self.stream_all(cube, group_map, fitted)
+        finally:
+            set_telemetry(previous)
+        for d in quiet:
+            for aspect in quiet[d].scores:
+                np.testing.assert_array_equal(
+                    quiet[d].scores[aspect], observed[d].scores[aspect]
+                )
+
+    def test_burst_day_is_visible_in_telemetry(self, cube, group_map, fitted):
+        from repro.obs import Telemetry, set_telemetry
+
+        telemetry = Telemetry(enabled=True)
+        previous = set_telemetry(telemetry)
+        try:
+            results = self.stream_all(cube, group_map, fitted, burst=True)
+        finally:
+            set_telemetry(previous)
+
+        burst = results[self.BURST_DAY]
+        # The injected burst dominates at least one aspect's daily max ...
+        spiking = [
+            aspect
+            for aspect in burst.score_summary
+            if burst.score_summary[aspect].max
+            == max(r.score_summary[aspect].max for r in results.values())
+        ]
+        assert spiking, "burst day does not top any aspect's score_max series"
+        # ... and the same spike tops the recorded score_max histogram.
+        for aspect in spiking:
+            series = telemetry.metrics.histogram(f"streaming.score_max.{aspect}")
+            assert series.summary()["max"] == pytest.approx(
+                burst.score_summary[aspect].max
+            )
+            assert len(series.values) == len(results)
+
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["streaming.days_total"] == N_DAYS
+        assert counters["streaming.days_scored"] == len(results)
+        day_seconds = telemetry.metrics.histogram("streaming.day_seconds")
+        assert day_seconds.summary()["count"] == N_DAYS
+        span = telemetry.find_span("streaming.observe_day")
+        assert span is not None and "latency_seconds" in span.attributes

@@ -1,0 +1,144 @@
+"""Run-report / bench-report builders, validators and the span renderer."""
+
+import json
+
+import pytest
+
+from repro.nn.network import TrainingHistory
+from repro.obs import (
+    BENCH_SCHEMA,
+    RUN_REPORT_SCHEMA,
+    SCHEMA_VERSION,
+    Telemetry,
+    build_bench_report,
+    build_run_report,
+    format_span_tree,
+    validate_bench_report,
+    validate_run_report,
+    write_report,
+)
+
+
+def capture():
+    t = Telemetry(enabled=True)
+    with t.span("detector.fit", model="ACOBE"):
+        with t.span("detector.representation") as span:
+            span.annotate(users=6)
+        t.counter("nn.epochs_total").inc(8)
+        t.histogram("train.final_loss").observe(0.25)
+        t.gauge("parallel.pool_workers").set(2)
+    return t
+
+
+def history():
+    h = TrainingHistory()
+    h.loss = [0.9, 0.5]
+    h.val_loss = [1.0, 0.6]
+    h.grad_norm = [2.0, 1.0]
+    return h
+
+
+class TestRunReport:
+    def test_build_and_validate(self):
+        doc = build_run_report(
+            capture(),
+            training_histories={"http": history()},
+            name="detect-acobe",
+            meta={"scale": "small"},
+        )
+        validate_run_report(doc)  # must not raise
+        assert doc["schema"] == RUN_REPORT_SCHEMA
+        assert doc["version"] == SCHEMA_VERSION
+        assert doc["meta"]["scale"] == "small"
+        assert doc["spans"][0]["name"] == "detector.fit"
+        assert doc["spans"][0]["children"][0]["attributes"] == {"users": 6}
+        assert doc["metrics"]["counters"] == {"nn.epochs_total": 8}
+        hist = doc["metrics"]["histograms"]["train.final_loss"]
+        assert hist["values"] == [0.25]
+        assert hist["summary"]["count"] == 1
+        training = doc["training"]["http"]
+        assert training == {
+            "epochs": 2,
+            "loss": [0.9, 0.5],
+            "val_loss": [1.0, 0.6],
+            "grad_norm": [2.0, 1.0],
+        }
+
+    def test_document_is_json_serializable(self):
+        doc = build_run_report(capture(), training_histories={"a": history()})
+        validate_run_report(json.loads(json.dumps(doc)))
+
+    @pytest.mark.parametrize(
+        "mutate, path",
+        [
+            (lambda d: d.pop("spans"), "spans"),
+            (lambda d: d.update(version="1"), "version"),
+            (lambda d: d["spans"][0].pop("wall_seconds"), "wall_seconds"),
+            (lambda d: d["metrics"].pop("counters"), "metrics.counters"),
+            (lambda d: d["metrics"]["counters"].update(x=1.5), "counters"),
+            (lambda d: d["training"]["http"].pop("loss"), "loss"),
+            (lambda d: d["training"]["http"].update(epochs="2"), "epochs"),
+        ],
+    )
+    def test_validator_pinpoints_broken_fields(self, mutate, path):
+        doc = build_run_report(capture(), training_histories={"http": history()})
+        mutate(doc)
+        with pytest.raises(ValueError, match=path.split(".")[-1]):
+            validate_run_report(doc)
+
+
+class TestBenchReport:
+    def test_build_and_validate(self):
+        doc = build_bench_report(
+            "parallel_speedup",
+            metrics={"speedup": 2.0},
+            params={"n_jobs": 4},
+            meta={"cpu_cores": 8},
+        )
+        validate_bench_report(doc)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["metrics"] == {"speedup": 2.0}
+        assert doc["params"] == {"n_jobs": 4}
+
+    def test_empty_metrics_rejected(self):
+        doc = build_bench_report("x", metrics={})
+        with pytest.raises(ValueError, match="metrics"):
+            validate_bench_report(doc)
+
+
+class TestWriteReport:
+    def test_writes_validated_json(self, tmp_path):
+        doc = build_bench_report("b", metrics={"seconds": 1.0})
+        path = write_report(tmp_path / "sub" / "BENCH_b.json", doc)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == BENCH_SCHEMA
+        assert loaded["metrics"]["seconds"] == 1.0
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown report schema"):
+            write_report(tmp_path / "x.json", {"schema": "nope"})
+
+    def test_rejects_invalid_document(self, tmp_path):
+        doc = build_run_report(Telemetry(enabled=True))
+        doc.pop("training")
+        with pytest.raises(ValueError, match="training"):
+            write_report(tmp_path / "x.json", doc)
+        assert not (tmp_path / "x.json").exists()
+
+
+class TestFormatSpanTree:
+    def test_renders_nested_tree(self):
+        text = format_span_tree(capture())
+        lines = text.splitlines()
+        assert lines[0].startswith("detector.fit")
+        assert "wall=" in lines[0] and "cpu=" in lines[0]
+        assert lines[1].startswith("  detector.representation")
+        assert "users=6" in lines[1]
+
+    def test_empty_forest(self):
+        assert format_span_tree(Telemetry(enabled=True)) == "(no spans recorded)"
+
+    def test_min_wall_filter_keeps_roots(self):
+        text = format_span_tree(capture(), min_wall_seconds=10.0)
+        assert text.startswith("detector.fit")
+        assert "representation" not in text

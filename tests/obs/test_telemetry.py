@@ -1,0 +1,210 @@
+"""Unit tests for the telemetry core: spans, metrics, snapshot/merge."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecord,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_from_env,
+)
+from repro.obs.telemetry import _NOOP_INSTRUMENT, _NOOP_SPAN, TELEMETRY_ENV_VAR
+
+
+class TestSpans:
+    def test_span_records_wall_and_cpu_time(self):
+        t = Telemetry(enabled=True)
+        with t.span("work"):
+            sum(range(1000))
+        assert len(t.spans) == 1
+        record = t.spans[0]
+        assert record.name == "work"
+        assert record.wall_seconds >= 0.0
+        assert record.cpu_seconds >= 0.0
+
+    def test_spans_nest_under_the_open_span(self):
+        t = Telemetry(enabled=True)
+        with t.span("outer"):
+            with t.span("inner.a"):
+                pass
+            with t.span("inner.b"):
+                with t.span("leaf"):
+                    pass
+        assert [s.name for s in t.spans] == ["outer"]
+        outer = t.spans[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        # The stack unwound completely.
+        assert t._stack == []
+
+    def test_span_attributes_and_annotate(self):
+        t = Telemetry(enabled=True)
+        with t.span("stage", users=6) as span:
+            span.annotate(vectors=42)
+        assert t.spans[0].attributes == {"users": 6, "vectors": 42}
+
+    def test_annotate_after_exit_still_lands_on_the_record(self):
+        # streaming.observe_day annotates latency after the with-block.
+        t = Telemetry(enabled=True)
+        with t.span("day") as span:
+            pass
+        span.annotate(latency_seconds=0.5)
+        assert t.spans[0].attributes["latency_seconds"] == 0.5
+
+    def test_find_span_and_iter_spans(self):
+        t = Telemetry(enabled=True)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        with t.span("c"):
+            pass
+        assert t.find_span("b").name == "b"
+        assert t.find_span("missing") is None
+        assert [s.name for s in t.iter_spans()] == ["a", "b", "c"]
+
+    def test_span_survives_exceptions(self):
+        t = Telemetry(enabled=True)
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("x")
+        assert t.spans[0].name == "boom"
+        assert t._stack == []
+
+    def test_span_record_round_trips_through_dict(self):
+        record = SpanRecord("outer", 1.5, 1.2, {"k": "v"}, 1024, [SpanRecord("inner")])
+        clone = SpanRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert [s.name for s in clone.walk()] == ["outer", "inner"]
+
+
+class TestDisabled:
+    def test_disabled_span_is_the_shared_noop(self):
+        t = Telemetry(enabled=False)
+        assert t.span("anything", attr=1) is _NOOP_SPAN
+        with t.span("anything") as span:
+            span.annotate(ignored=True)
+        assert t.spans == []
+
+    def test_disabled_instruments_are_the_shared_noop(self):
+        t = Telemetry(enabled=False)
+        assert t.counter("c") is _NOOP_INSTRUMENT
+        assert t.gauge("g") is _NOOP_INSTRUMENT
+        assert t.histogram("h") is _NOOP_INSTRUMENT
+        t.counter("c").inc()
+        t.gauge("g").set(3.0)
+        t.histogram("h").observe(1.0)
+        snap = t.snapshot()
+        assert snap == {
+            "spans": [],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+
+    def test_disabled_merge_is_a_noop(self):
+        t = Telemetry(enabled=False)
+        t.merge({"spans": [{"name": "x"}], "metrics": {"counters": {"c": 1}}})
+        assert t.snapshot()["spans"] == []
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        t = Telemetry(enabled=True)
+        t.counter("epochs").inc()
+        t.counter("epochs").inc(4)
+        t.gauge("pool").set(2)
+        t.histogram("loss").observe(0.5)
+        t.histogram("loss").observe(0.1)
+        t.histogram("loss").observe(0.3)
+        snap = t.metrics.snapshot()
+        assert snap["counters"] == {"epochs": 5}
+        assert snap["gauges"] == {"pool": 2.0}
+        assert snap["histograms"] == {"loss": [0.5, 0.1, 0.3]}
+        summary = t.metrics.histogram("loss").summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 0.1
+        assert summary["median"] == 0.3
+        assert summary["max"] == 0.5
+
+    def test_histogram_summary_even_count_and_empty(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.summary() == {"count": 0}
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.summary()["median"] == 2.5
+
+    def test_registry_merge_semantics(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(1.0)
+        registry.merge(
+            {"counters": {"c": 3, "new": 1}, "gauges": {"g": 9.0, "skip": None},
+             "histograms": {"h": [2.0], "h2": [5.0]}}
+        )
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 5, "new": 1}
+        assert snap["gauges"] == {"g": 9.0}
+        assert snap["histograms"] == {"h": [1.0, 2.0], "h2": [5.0]}
+
+
+class TestSnapshotMerge:
+    def test_merged_spans_attach_under_the_open_span(self):
+        worker = Telemetry(enabled=True)
+        with worker.span("train.aspect", aspect="http"):
+            worker.counter("nn.epochs_total").inc(4)
+        parent = Telemetry(enabled=True)
+        with parent.span("parallel.train_ensemble"):
+            parent.merge(worker.snapshot())
+        root = parent.spans[0]
+        assert [c.name for c in root.children] == ["train.aspect"]
+        assert root.children[0].attributes == {"aspect": "http"}
+        assert parent.metrics.snapshot()["counters"] == {"nn.epochs_total": 4}
+
+    def test_merge_none_and_reset(self):
+        t = Telemetry(enabled=True)
+        t.merge(None)
+        t.counter("c").inc()
+        with t.span("s"):
+            pass
+        t.reset()
+        assert t.snapshot() == {
+            "spans": [],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+        assert t.enabled
+
+
+class TestGlobalAndEnv:
+    def test_env_parsing(self):
+        assert not telemetry_from_env({}).enabled
+        for off in ("0", "off", "FALSE", "no", ""):
+            assert not telemetry_from_env({TELEMETRY_ENV_VAR: off}).enabled
+        on = telemetry_from_env({TELEMETRY_ENV_VAR: "1"})
+        assert on.enabled and not on.trace_memory
+        mem = telemetry_from_env({TELEMETRY_ENV_VAR: "mem"})
+        assert mem.enabled and mem.trace_memory
+
+    def test_set_telemetry_returns_previous(self):
+        original = get_telemetry()
+        mine = Telemetry(enabled=True)
+        try:
+            previous = set_telemetry(mine)
+            assert previous is original
+            assert get_telemetry() is mine
+        finally:
+            set_telemetry(original)
+        assert get_telemetry() is original
+
+    def test_mem_spans_record_traced_peak(self):
+        import tracemalloc
+
+        was_tracing = tracemalloc.is_tracing()
+        t = Telemetry(enabled=True, trace_memory=True)
+        try:
+            with t.span("alloc"):
+                _ = [0] * 50_000
+            assert t.spans[0].mem_peak_bytes > 0
+        finally:
+            if not was_tracing and tracemalloc.is_tracing():
+                tracemalloc.stop()
