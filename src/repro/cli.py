@@ -6,6 +6,10 @@ Commands:
   two insider scenarios injected) and write the logs as CERT-style CSVs.
 * ``detect`` -- run an ACOBE-family model over a log directory produced
   by ``simulate`` and print the ordered investigation list.
+* ``stream`` -- run the detector day-by-day like the operational daily
+  service, with durable checkpoints (``--checkpoint-dir``), crash
+  recovery (``--resume``) and degradation policies for malformed days
+  (``--on-bad-day``); see docs/OPERATIONS.md.
 * ``case-study`` -- run the Zeus or WannaCry enterprise case study and
   print the victim's daily investigation rank.
 * ``presets`` -- show the benchmark scale presets.
@@ -101,6 +105,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH", default=None,
         help="write the JSON run report (span timings, metrics, per-aspect "
         "training curves) to PATH; implies telemetry",
+    )
+
+    p_str = sub.add_parser(
+        "stream",
+        help="run day-by-day streaming detection with checkpoint/resume",
+    )
+    p_str.add_argument(
+        "--scale", default="small", choices=("small", "default", "paper"),
+        help="benchmark preset to simulate and stream",
+    )
+    p_str.add_argument(
+        "--model", default="acobe", choices=("acobe", "no-group", "all-in-one"),
+        help="deviation-representation models only (streaming requirement)",
+    )
+    p_str.add_argument("--seed", type=int, default=None)
+    p_str.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the initial ensemble training",
+    )
+    p_str.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="directory for the saved model and streaming checkpoints; "
+        "required for --resume",
+    )
+    p_str.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint in --checkpoint-dir instead of "
+        "starting a fresh stream (scores are bit-identical to an "
+        "uninterrupted run)",
+    )
+    p_str.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="save a checkpoint every N observed days (default: 1)",
+    )
+    p_str.add_argument(
+        "--stop-after-days", type=int, default=None, metavar="K",
+        help="consume at most K days this run, then exit (simulates a "
+        "scheduled shutdown or a crash point for resume testing)",
+    )
+    p_str.add_argument(
+        "--on-bad-day", default=None,
+        choices=("strict", "skip", "impute-group-mean"),
+        help="degradation policy for non-finite or malformed day slabs "
+        "(default: strict, or the checkpointed policy when resuming)",
+    )
+    p_str.add_argument("--top", type=int, default=10, help="list length to print")
+    p_str.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write per-day scores and investigation lists as JSON to PATH",
+    )
+    p_str.add_argument(
+        "--trace", action="store_true",
+        help="enable telemetry and print the span tree after the run",
+    )
+    p_str.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the JSON run report (incl. stream.days_quarantined and "
+        "checkpoint.retries counters) to PATH; implies telemetry",
     )
 
     p_case = sub.add_parser("case-study", help="run an enterprise attack case study")
@@ -208,6 +270,185 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Day-by-day streaming detection with durable checkpoints."""
+    import json
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.core.checkpoint import (
+        CheckpointNotFoundError,
+        resume_streaming,
+        save_checkpoint,
+    )
+    from repro.core.persistence import attach_representation, load_model, save_model
+    from repro.core.streaming import DailyResult, StreamingDetector
+    from repro.obs import (
+        Telemetry,
+        build_run_report,
+        format_span_tree,
+        get_telemetry,
+        set_telemetry,
+        write_report,
+    )
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+
+    telemetry = get_telemetry()
+    if (args.trace or args.metrics_out) and not telemetry.enabled:
+        telemetry = Telemetry(enabled=True, trace_memory=telemetry.trace_memory)
+        set_telemetry(telemetry)
+
+    config = cert_config(args.scale)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    benchmark = build_cert_benchmark(config)
+    cube = benchmark.cube
+    days = list(cube.days)
+
+    checkpoint_dir = Path(args.checkpoint_dir) if args.checkpoint_dir else None
+    model_dir = checkpoint_dir / "model" if checkpoint_dir else None
+    stream_dir = checkpoint_dir / "stream" if checkpoint_dir else None
+
+    if args.resume:
+        try:
+            model = load_model(model_dir)
+        except FileNotFoundError:
+            print(f"error: no saved model at {model_dir}; run once without --resume first",
+                  file=sys.stderr)
+            return 2
+        attach_representation(model, cube, benchmark.group_map, benchmark.train_days)
+        try:
+            stream = resume_streaming(model, stream_dir, on_bad_day=args.on_bad_day)
+        except CheckpointNotFoundError:
+            print(f"error: no checkpoint at {stream_dir}; run once without --resume first",
+                  file=sys.stderr)
+            return 2
+        if stream.last_day is None:
+            start_index = 0
+        elif stream.last_day >= days[-1]:
+            print(f"checkpoint already covers the final day ({stream.last_day}); nothing to do")
+            start_index = len(days)
+        else:
+            start_index = next(i for i, d in enumerate(days) if d > stream.last_day)
+        print(f"resumed from {stream_dir} at day cursor {stream.last_day} "
+              f"({stream.days_observed} days observed so far)")
+    else:
+        factory = _MODEL_FACTORIES[args.model]
+        model = factory(
+            ae_config=config.autoencoder,
+            window=config.window,
+            matrix_days=config.matrix_days,
+            train_stride=config.train_stride,
+            n_jobs=args.jobs,
+        )
+        print(f"fitting {model.config.name} on {len(cube.users)} users ...")
+        model.fit(cube, benchmark.group_map, benchmark.train_days)
+        if model_dir is not None:
+            save_model(model, model_dir)
+            print(f"saved model to {model_dir}")
+        stream = StreamingDetector(
+            model, cube.users, benchmark.group_map,
+            on_bad_day=args.on_bad_day or "strict",
+        )
+        start_index = 0
+
+    emitted = []
+    consumed = 0
+    for d in range(start_index, len(days)):
+        if args.stop_after_days is not None and consumed >= args.stop_after_days:
+            print(f"stopping after {consumed} day(s) as requested "
+                  f"(day cursor at {stream.last_day})")
+            break
+        result = stream.observe_day(days[d], cube.values[:, :, :, d])
+        consumed += 1
+        if isinstance(result, DailyResult):
+            top = [e.user for e in result.investigation.entries[:3]]
+            print(f"  {result.day}  top: {', '.join(top)}")
+            emitted.append(result)
+        elif result is not None:  # DegradedDayResult
+            print(f"  {result.day}  QUARANTINED ({result.reason}: "
+                  f"{result.n_bad_values} bad value(s))")
+            emitted.append(result)
+        if stream_dir is not None and consumed % args.checkpoint_every == 0:
+            save_checkpoint(stream, stream_dir)
+    if stream_dir is not None and consumed % args.checkpoint_every != 0:
+        save_checkpoint(stream, stream_dir)
+
+    scored = [r for r in emitted if isinstance(r, DailyResult)]
+    print(f"observed {consumed} day(s): {len(scored)} scored, "
+          f"{stream.days_quarantined} quarantined, {stream.days_imputed} imputed")
+    if scored:
+        last = scored[-1]
+        rows = []
+        for position, entry in enumerate(last.investigation.entries[: args.top], start=1):
+            marker = "insider" if entry.user in benchmark.abnormal_users else ""
+            rows.append((position, entry.user, entry.priority, marker))
+        print(f"investigation list for {last.day}:")
+        print(format_table(["#", "user", "priority", ""], rows))
+
+    if args.out:
+        document = {
+            "schema": "acobe.stream_results",
+            "version": 1,
+            "scale": config.name,
+            "model": model.config.name,
+            "days": [_stream_day_doc(r) for r in emitted],
+        }
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote per-day results to {out_path}")
+
+    if args.trace:
+        print("\n-- span tree ".ljust(40, "-"))
+        print(format_span_tree(telemetry))
+    if args.metrics_out:
+        report = build_run_report(
+            telemetry,
+            name=f"stream-{args.model}",
+            meta={
+                "model": model.config.name,
+                "scale": config.name,
+                "seed": config.seed,
+                "resumed": args.resume,
+                "days_consumed": consumed,
+                "days_scored": len(scored),
+                "days_quarantined": stream.days_quarantined,
+                "days_imputed": stream.days_imputed,
+            },
+        )
+        path = write_report(args.metrics_out, report)
+        print(f"wrote run report to {path}")
+    return 0
+
+
+def _stream_day_doc(result) -> dict:
+    """One emitted day as a JSON-able dict (exact float round-trip)."""
+    from repro.core.streaming import DailyResult
+
+    if not isinstance(result, DailyResult):
+        return {
+            "day": result.day.isoformat(),
+            "degraded": True,
+            "reason": result.reason,
+            "policy": result.policy,
+            "n_bad_values": result.n_bad_values,
+        }
+    return {
+        "day": result.day.isoformat(),
+        "users": [e.user for e in result.investigation.entries],
+        "priorities": {e.user: e.priority for e in result.investigation.entries},
+        "scores": {aspect: [float(v) for v in arr] for aspect, arr in result.scores.items()},
+        "imputed_values": result.imputed_values,
+    }
+
+
 def cmd_case_study(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -251,6 +492,7 @@ def cmd_presets(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": cmd_simulate,
     "detect": cmd_detect,
+    "stream": cmd_stream,
     "case-study": cmd_case_study,
     "presets": cmd_presets,
 }

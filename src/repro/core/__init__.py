@@ -17,12 +17,36 @@
 * :mod:`repro.core.detector` -- the configurable compound-behaviour
   model and the named model zoo (ACOBE, No-Group, 1-Day, All-in-1,
   Baseline, Base-FF).
+* :mod:`repro.core.checkpoint` -- durable streaming: atomic,
+  checksummed checkpoint/resume of :class:`StreamingDetector` state
+  with bit-identical continuation.
 """
 
+from repro.core.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointNotFoundError,
+    config_digest,
+    load_checkpoint,
+    resume_streaming,
+    save_checkpoint,
+)
 from repro.core.critic import InvestigationList, investigation_list, rank_users
 from repro.core.critic_advanced import AdvancedCritic, classify_waveform, spike_score
-from repro.core.persistence import attach_representation, load_model, save_model
-from repro.core.streaming import DailyResult, ScoreSummary, StreamingDetector
+from repro.core.persistence import (
+    PersistenceError,
+    attach_representation,
+    load_model,
+    save_model,
+)
+from repro.core.streaming import (
+    DailyResult,
+    DegradedDayResult,
+    ScoreSummary,
+    StreamState,
+    StreamingDetector,
+)
 from repro.core.detector import (
     CompoundBehaviorModel,
     ModelConfig,
@@ -51,13 +75,24 @@ from repro.core.representation import (
 
 __all__ = [
     "AdvancedCritic",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointNotFoundError",
     "CompoundBehaviorModel",
     "DailyResult",
+    "DegradedDayResult",
+    "PersistenceError",
     "ScoreSummary",
+    "StreamState",
     "StreamingDetector",
     "attach_representation",
     "classify_waveform",
+    "config_digest",
+    "load_checkpoint",
     "load_model",
+    "resume_streaming",
+    "save_checkpoint",
     "save_model",
     "spike_score",
     "CompoundMatrices",

@@ -1,0 +1,411 @@
+"""Durable checkpoints for :class:`~repro.core.streaming.StreamingDetector`.
+
+ACOBE's streaming mode is a long-lived daily service; its rolling
+per-user/per-group buffers are the only state that cannot be recomputed
+from the (immutable) trained model.  This module persists that state so
+a crash, OOM, or host migration costs nothing: **kill after day k,
+resume, and days k+1..n produce scores bit-identical to an
+uninterrupted run** (pinned by ``tests/core/test_checkpoint_property.py``
+and the golden-file integration test).
+
+Layout of a checkpoint directory::
+
+    <directory>/
+      state.npz       # every rolling array (history, sigma/weight buffers)
+      manifest.json   # schema + version, day cursor, users/groups,
+                      # config digest, degradation counters, checksums
+
+Durability design, in order of defence:
+
+* **Atomic writes** -- every file goes through
+  :func:`repro.core.persistence.atomic_write_bytes` (write temp, fsync,
+  ``os.replace``), so a crash mid-save leaves the previous checkpoint
+  intact.
+* **Manifest-last commit** -- ``state.npz`` is written before
+  ``manifest.json``; a directory is a checkpoint only once its manifest
+  exists, so a partially written directory is detected, not half-read.
+* **Content checksums** -- the manifest records the SHA-256 of
+  ``state.npz``; bit rot and truncation surface as
+  :class:`CheckpointCorruptionError`, never as a NumPy stack trace.
+* **Config digest** -- the manifest pins a digest of the model's
+  :class:`~repro.core.detector.ModelConfig`; resuming against a model
+  with different windows/weights raises :class:`CheckpointMismatchError`
+  instead of silently mixing incompatible math.
+* **Retry with backoff** -- transient I/O errors (network filesystems,
+  busy volumes) are retried with exponential backoff; each retry is
+  counted on the ``checkpoint.retries`` telemetry counter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import time
+import zipfile
+from dataclasses import asdict
+from datetime import date
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, TypeVar, Union
+
+import numpy as np
+
+from repro.core.detector import CompoundBehaviorModel, ModelConfig
+from repro.core.persistence import atomic_write_bytes, atomic_write_json, file_sha256
+from repro.core.streaming import StreamingDetector, StreamState
+from repro.obs import get_telemetry
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_VERSION",
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointNotFoundError",
+    "LoadedCheckpoint",
+    "config_digest",
+    "load_checkpoint",
+    "resume_streaming",
+    "save_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = "acobe.stream_checkpoint"
+CHECKPOINT_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+STATE_FILE = "state.npz"
+
+#: Patchable sleep for the retry loop (tests stub it out).
+_SLEEP: Callable[[float], None] = time.sleep
+
+_T = TypeVar("_T")
+
+
+class CheckpointError(RuntimeError):
+    """Base class for every checkpoint failure."""
+
+
+class CheckpointNotFoundError(CheckpointError, FileNotFoundError):
+    """No committed checkpoint exists at the given directory."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A checkpoint exists but fails checksum/structure validation."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A valid checkpoint does not belong to the resuming model."""
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def config_digest(config: ModelConfig) -> str:
+    """A stable hex digest of a model configuration.
+
+    Two models share a digest iff their configurations are equal; the
+    digest is what ties a checkpoint to the model that produced it
+    (weights are covered transitively -- training is deterministic in
+    the config, see :mod:`repro.nn.parallel`).
+    """
+    doc = asdict(config)
+    canonical = json.dumps(doc, sort_keys=True, default=list)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _with_retries(
+    operation: Callable[[], _T],
+    what: str,
+    retries: int,
+    backoff: float,
+) -> _T:
+    """Run ``operation``, retrying transient ``OSError`` with backoff.
+
+    ``retries`` counts *additional* attempts after the first; each one
+    increments the ``checkpoint.retries`` telemetry counter.  The final
+    failure is re-raised as :class:`CheckpointError` chained to the
+    underlying ``OSError``.
+    """
+    telemetry = get_telemetry()
+    delay = backoff
+    last: Optional[OSError] = None
+    for attempt in range(retries + 1):
+        if attempt:
+            telemetry.counter("checkpoint.retries").inc()
+            _SLEEP(delay)
+            delay *= 2.0
+        try:
+            return operation()
+        except OSError as exc:
+            last = exc
+    raise CheckpointError(
+        f"{what} still failing after {retries + 1} attempt(s): {last}"
+    ) from last
+
+
+def _state_to_npz_bytes(state: StreamState) -> bytes:
+    arrays: Dict[str, np.ndarray] = {}
+    for i, slab in enumerate(state.history):
+        arrays[f"history_{i}"] = slab
+    for i, (sigma, weight) in enumerate(state.sigma_buffer):
+        arrays[f"sigma_{i}"] = sigma
+        arrays[f"sigweight_{i}"] = weight
+    for i, (sigma, weight) in enumerate(state.group_sigma_buffer):
+        arrays[f"gsigma_{i}"] = sigma
+        arrays[f"gweight_{i}"] = weight
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def _state_from_npz(path: Path, counts: Mapping[str, int]) -> StreamState:
+    try:
+        with np.load(path) as archive:
+            history = [
+                np.asarray(archive[f"history_{i}"], dtype=np.float64)
+                for i in range(int(counts["history"]))
+            ]
+            sigma = [
+                (
+                    np.asarray(archive[f"sigma_{i}"], dtype=np.float64),
+                    np.asarray(archive[f"sigweight_{i}"], dtype=np.float64),
+                )
+                for i in range(int(counts["sigma"]))
+            ]
+            group_sigma = [
+                (
+                    np.asarray(archive[f"gsigma_{i}"], dtype=np.float64),
+                    np.asarray(archive[f"gweight_{i}"], dtype=np.float64),
+                )
+                for i in range(int(counts["group_sigma"]))
+            ]
+    except (zipfile.BadZipFile, EOFError, KeyError, ValueError, OSError) as exc:
+        raise CheckpointCorruptionError(
+            f"unreadable checkpoint state {path}: {exc}"
+        ) from exc
+    return StreamState(history=history, sigma_buffer=sigma, group_sigma_buffer=group_sigma,
+                       last_day=None)
+
+
+# ---------------------------------------------------------------------------
+# Save / load / resume
+# ---------------------------------------------------------------------------
+
+
+def save_checkpoint(
+    stream: StreamingDetector,
+    directory: Union[str, Path],
+    retries: int = 2,
+    backoff: float = 0.05,
+) -> Path:
+    """Atomically persist a stream's full rolling state.
+
+    Safe to call after every observed day: each save replaces the
+    previous checkpoint only at its final ``os.replace``, so the
+    directory always holds one complete, committed checkpoint.
+
+    Args:
+        stream: the detector whose state to persist.
+        directory: checkpoint directory (created if missing).
+        retries: extra attempts per file on transient ``OSError``.
+        backoff: initial retry delay in seconds (doubles per retry).
+
+    Returns:
+        The checkpoint directory.
+    """
+    directory = Path(directory)
+    telemetry = get_telemetry()
+    with telemetry.span("checkpoint.save", directory=str(directory)) as span:
+        state = stream.export_state()
+        payload = _state_to_npz_bytes(state)
+        state_path = directory / STATE_FILE
+        _with_retries(
+            lambda: atomic_write_bytes(state_path, payload),
+            f"writing {state_path}",
+            retries,
+            backoff,
+        )
+        manifest = {
+            "schema": CHECKPOINT_SCHEMA,
+            "version": CHECKPOINT_VERSION,
+            "config_digest": config_digest(stream.model.config),
+            "last_day": state.last_day.isoformat() if state.last_day else None,
+            "users": list(stream.users),
+            "groups": list(stream.groups),
+            "group_map": dict(stream.group_map),
+            "on_bad_day": stream.on_bad_day,
+            "counts": {
+                "history": len(state.history),
+                "sigma": len(state.sigma_buffer),
+                "group_sigma": len(state.group_sigma_buffer),
+            },
+            "counters": {
+                "days_observed": state.days_observed,
+                "days_quarantined": state.days_quarantined,
+                "days_imputed": state.days_imputed,
+                "values_imputed": state.values_imputed,
+            },
+            "checksums": {STATE_FILE: hashlib.sha256(payload).hexdigest()},
+        }
+        _with_retries(
+            lambda: atomic_write_json(directory / MANIFEST_FILE, manifest),
+            f"writing {directory / MANIFEST_FILE}",
+            retries,
+            backoff,
+        )
+        telemetry.counter("checkpoint.saves").inc()
+        span.annotate(
+            bytes=len(payload),
+            history_days=len(state.history),
+            last_day=manifest["last_day"],
+        )
+    return directory
+
+
+class LoadedCheckpoint:
+    """A validated checkpoint: manifest fields + the restored state."""
+
+    def __init__(self, manifest: Dict[str, Any], state: StreamState):
+        self.manifest = manifest
+        self.state = state
+
+    @property
+    def last_day(self) -> Optional[date]:
+        return self.state.last_day
+
+    @property
+    def users(self) -> list:
+        return list(self.manifest["users"])
+
+    @property
+    def group_map(self) -> Dict[str, str]:
+        return dict(self.manifest["group_map"])
+
+    @property
+    def config_digest(self) -> str:
+        return self.manifest["config_digest"]
+
+
+def load_checkpoint(
+    directory: Union[str, Path],
+    retries: int = 2,
+    backoff: float = 0.05,
+) -> LoadedCheckpoint:
+    """Load and validate a checkpoint written by :func:`save_checkpoint`.
+
+    Raises:
+        CheckpointNotFoundError: no committed manifest at ``directory``
+            (including the partially-written case where only
+            ``state.npz`` made it to disk).
+        CheckpointCorruptionError: manifest unreadable, state file
+            missing, checksum mismatch, or archive truncated/corrupt.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_FILE
+    if not manifest_path.exists():
+        detail = ""
+        if (directory / STATE_FILE).exists():
+            detail = (
+                " (a state file exists without a manifest: the checkpoint "
+                "was never committed -- treat it as absent)"
+            )
+        raise CheckpointNotFoundError(f"no checkpoint manifest at {directory}{detail}")
+
+    def read_manifest() -> str:
+        return manifest_path.read_text()
+
+    raw = _with_retries(read_manifest, f"reading {manifest_path}", retries, backoff)
+    try:
+        manifest = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptionError(
+            f"corrupt checkpoint manifest {manifest_path}: {exc}"
+        ) from exc
+    if manifest.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointCorruptionError(
+            f"{manifest_path} is not a stream checkpoint "
+            f"(schema={manifest.get('schema')!r})"
+        )
+    if int(manifest.get("version", 0)) > CHECKPOINT_VERSION:
+        raise CheckpointMismatchError(
+            f"checkpoint version {manifest.get('version')} is newer than "
+            f"this build supports ({CHECKPOINT_VERSION}); upgrade before resuming"
+        )
+
+    state_path = directory / STATE_FILE
+    if not state_path.exists():
+        raise CheckpointCorruptionError(
+            f"partially written checkpoint at {directory}: manifest present "
+            f"but {STATE_FILE} is missing"
+        )
+    expected = manifest.get("checksums", {}).get(STATE_FILE)
+    actual = _with_retries(
+        lambda: file_sha256(state_path), f"hashing {state_path}", retries, backoff
+    )
+    if expected != actual:
+        raise CheckpointCorruptionError(
+            f"checksum mismatch for {state_path}: manifest says {expected}, "
+            f"file hashes to {actual} -- the checkpoint is corrupt "
+            "(truncated write or bit rot)"
+        )
+
+    state = _state_from_npz(state_path, manifest.get("counts", {}))
+    last_day = manifest.get("last_day")
+    state.last_day = date.fromisoformat(last_day) if last_day else None
+    counters = manifest.get("counters", {})
+    state.days_observed = int(counters.get("days_observed", 0))
+    state.days_quarantined = int(counters.get("days_quarantined", 0))
+    state.days_imputed = int(counters.get("days_imputed", 0))
+    state.values_imputed = int(counters.get("values_imputed", 0))
+    get_telemetry().counter("checkpoint.loads").inc()
+    return LoadedCheckpoint(manifest, state)
+
+
+def resume_streaming(
+    model: CompoundBehaviorModel,
+    directory: Union[str, Path],
+    on_bad_day: Optional[str] = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+) -> StreamingDetector:
+    """Rebuild a :class:`StreamingDetector` from a checkpoint.
+
+    The detector continues exactly where the checkpointed stream
+    stopped: same users, groups, rolling buffers and day cursor, so the
+    next :meth:`~StreamingDetector.observe_day` call scores the day
+    after ``checkpoint.last_day`` bit-identically to a stream that
+    never died.
+
+    Args:
+        model: the fitted model the original stream wrapped (reload it
+            with :func:`repro.core.persistence.load_model` +
+            :func:`~repro.core.persistence.attach_representation`).
+        directory: the checkpoint directory.
+        on_bad_day: override the degradation policy; defaults to the
+            policy recorded in the checkpoint.
+
+    Raises:
+        CheckpointMismatchError: the checkpoint belongs to a model with
+            a different configuration.
+    """
+    checkpoint = load_checkpoint(directory, retries=retries, backoff=backoff)
+    digest = config_digest(model.config)
+    if digest != checkpoint.config_digest:
+        raise CheckpointMismatchError(
+            f"checkpoint at {directory} was written by a model with config "
+            f"digest {checkpoint.config_digest[:12]}..., but the resuming "
+            f"model digests to {digest[:12]}... -- resuming would mix "
+            "incompatible deviation math"
+        )
+    policy = on_bad_day or checkpoint.manifest.get("on_bad_day", "strict")
+    stream = StreamingDetector(
+        model,
+        checkpoint.users,
+        checkpoint.group_map,
+        on_bad_day=policy,
+    )
+    stream.restore_state(checkpoint.state)
+    get_telemetry().counter("checkpoint.resumes").inc()
+    return stream

@@ -28,6 +28,12 @@ aspect's training diverge, how do score distributions drift day to day
 Naming convention: dotted lowercase paths, ``<layer>.<operation>``
 (``detector.fit``, ``nn.epochs_total``, ``streaming.day_seconds``);
 per-entity series append the entity last (``streaming.score_max.http``).
+Operational health counters worth alerting on (see
+``docs/OPERATIONS.md``): ``stream.days_quarantined`` /
+``stream.days_imputed`` / ``stream.values_imputed`` from the
+degradation policies, and ``checkpoint.retries`` / ``checkpoint.saves``
+/ ``checkpoint.loads`` / ``checkpoint.resumes`` from the durable
+streaming layer.
 """
 
 from __future__ import annotations

@@ -1,0 +1,29 @@
+"""``repro.testing``: reusable test/chaos utilities shipped with the library.
+
+Unlike ``tests/`` (which never ships), this package is importable from
+user code so operational teams can reuse the same fault-injection
+harness the suite uses -- e.g. to chaos-test their own checkpoint
+volumes or feed pipelines before going to production.
+
+* :mod:`repro.testing.faults` -- context managers and helpers that
+  inject I/O failures, truncate/bit-flip files, and poison measurement
+  slabs.
+"""
+
+from repro.testing.faults import (
+    FaultInjectionError,
+    corrupt_checkpoint_state,
+    flip_bit,
+    poison_slab,
+    transient_io_errors,
+    truncate_file,
+)
+
+__all__ = [
+    "FaultInjectionError",
+    "corrupt_checkpoint_state",
+    "flip_bit",
+    "poison_slab",
+    "transient_io_errors",
+    "truncate_file",
+]

@@ -1,0 +1,338 @@
+"""Checkpoint/resume tests: durability, corruption detection, bit-identity."""
+
+import json
+from datetime import date, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    MANIFEST_FILE,
+    STATE_FILE,
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointNotFoundError,
+    config_digest,
+    load_checkpoint,
+    resume_streaming,
+    save_checkpoint,
+)
+from repro.core.detector import CompoundBehaviorModel, ModelConfig
+from repro.core.streaming import StreamingDetector
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+from repro.nn.autoencoder import AutoencoderConfig
+from repro.obs import Telemetry, set_telemetry
+from repro.testing.faults import corrupt_checkpoint_state, transient_io_errors
+from repro.utils.timeutil import TWO_TIMEFRAMES
+
+TINY_AE = AutoencoderConfig(
+    encoder_units=(8, 4),
+    epochs=3,
+    batch_size=16,
+    optimizer="adam",
+    early_stopping_patience=None,
+    validation_split=0.0,
+    seed=1,
+)
+
+N_DAYS = 35
+DAYS = [date(2010, 1, 1) + timedelta(days=i) for i in range(N_DAYS)]
+
+
+@pytest.fixture(scope="module")
+def cube():
+    fs = FeatureSet(
+        [
+            AspectSpec("a", (FeatureSpec("f1", "a"), FeatureSpec("f2", "a"))),
+            AspectSpec("b", (FeatureSpec("f3", "b"),)),
+        ]
+    )
+    users = [f"u{i}" for i in range(6)]
+    values = np.random.default_rng(7).poisson(5.0, size=(6, 3, 2, N_DAYS)).astype(float)
+    return MeasurementCube(values, users, fs, TWO_TIMEFRAMES, DAYS)
+
+
+@pytest.fixture(scope="module")
+def group_map(cube):
+    return {u: ("g1" if i < 3 else "g2") for i, u in enumerate(cube.users)}
+
+
+@pytest.fixture(scope="module")
+def fitted(cube, group_map):
+    model = CompoundBehaviorModel(
+        ModelConfig(window=5, matrix_days=5, critic_n=2, autoencoder=TINY_AE)
+    )
+    model.fit(cube, group_map, DAYS[:25])
+    return model
+
+
+@pytest.fixture
+def no_sleep(monkeypatch):
+    monkeypatch.setattr("repro.core.checkpoint._SLEEP", lambda seconds: None)
+
+
+def feed(stream, cube, start, stop):
+    """Feed cube days [start, stop) through the stream; collect outputs."""
+    results = {}
+    for d in range(start, stop):
+        out = stream.observe_day(DAYS[d], cube.values[:, :, :, d])
+        if out is not None:
+            results[DAYS[d]] = out
+    return results
+
+
+class TestRoundTrip:
+    def test_state_round_trips_bit_exactly(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 20)
+        save_checkpoint(stream, tmp_path / "ckpt")
+
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        original = stream.export_state()
+        assert loaded.last_day == DAYS[19]
+        assert loaded.users == cube.users
+        assert loaded.group_map == group_map
+        assert len(loaded.state.history) == len(original.history)
+        for a, b in zip(loaded.state.history, original.history):
+            np.testing.assert_array_equal(a, b)
+        for (s1, w1), (s2, w2) in zip(loaded.state.sigma_buffer, original.sigma_buffer):
+            np.testing.assert_array_equal(s1, s2)
+            np.testing.assert_array_equal(w1, w2)
+        for (s1, w1), (s2, w2) in zip(
+            loaded.state.group_sigma_buffer, original.group_sigma_buffer
+        ):
+            np.testing.assert_array_equal(s1, s2)
+            np.testing.assert_array_equal(w1, w2)
+
+    @pytest.mark.parametrize("cut", [3, 9, 20, 28])
+    def test_kill_and_resume_is_bit_identical(self, tmp_path, cube, group_map, fitted, cut):
+        # Uninterrupted reference run.
+        reference = feed(StreamingDetector(fitted, cube.users, group_map), cube, 0, N_DAYS)
+
+        # Crash after `cut` days, then resume from the checkpoint.
+        dying = StreamingDetector(fitted, cube.users, group_map)
+        feed(dying, cube, 0, cut)
+        save_checkpoint(dying, tmp_path / "ckpt")
+        del dying
+
+        resumed = resume_streaming(fitted, tmp_path / "ckpt")
+        tail = feed(resumed, cube, cut, N_DAYS)
+
+        expected_tail = {d: r for d, r in reference.items() if d >= DAYS[cut]}
+        assert set(tail) == set(expected_tail)
+        for day, result in tail.items():
+            expected = expected_tail[day]
+            for aspect in expected.scores:
+                assert np.array_equal(result.scores[aspect], expected.scores[aspect])
+            assert [e.user for e in result.investigation.entries] == [
+                e.user for e in expected.investigation.entries
+            ]
+            assert [e.priority for e in result.investigation.entries] == [
+                e.priority for e in expected.investigation.entries
+            ]
+
+    def test_resume_restores_day_cursor_and_counters(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day="skip")
+        feed(stream, cube, 0, 12)
+        bad = cube.values[:, :, :, 12].copy()
+        bad[0, 0, 0] = np.nan
+        stream.observe_day(DAYS[12], bad)  # quarantined
+        save_checkpoint(stream, tmp_path / "ckpt")
+
+        resumed = resume_streaming(fitted, tmp_path / "ckpt")
+        assert resumed.last_day == DAYS[12]
+        assert resumed.days_observed == 13
+        assert resumed.days_quarantined == 1
+        assert resumed.on_bad_day == "skip"
+        # Day ordering is still enforced across the resume boundary.
+        with pytest.raises(ValueError, match="strictly increasing"):
+            resumed.observe_day(DAYS[12], cube.values[:, :, :, 12])
+
+    def test_resume_policy_override(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day="skip")
+        feed(stream, cube, 0, 5)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        resumed = resume_streaming(fitted, tmp_path / "ckpt", on_bad_day="impute-group-mean")
+        assert resumed.on_bad_day == "impute-group-mean"
+
+    def test_checkpoint_mid_warmup_resumes(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 2)  # far from ready
+        save_checkpoint(stream, tmp_path / "ckpt")
+        resumed = resume_streaming(fitted, tmp_path / "ckpt")
+        assert not resumed.ready
+        tail = feed(resumed, cube, 2, N_DAYS)
+        reference = feed(StreamingDetector(fitted, cube.users, group_map), cube, 0, N_DAYS)
+        assert set(tail) == set(reference)
+        for day in tail:
+            for aspect in tail[day].scores:
+                assert np.array_equal(tail[day].scores[aspect], reference[day].scores[aspect])
+
+    def test_save_overwrites_previous_checkpoint(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        feed(stream, cube, 10, 20)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        assert load_checkpoint(tmp_path / "ckpt").last_day == DAYS[19]
+
+
+class TestValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(CheckpointNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+
+    @pytest.mark.faults
+    def test_partially_written_no_manifest(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        (tmp_path / "ckpt" / MANIFEST_FILE).unlink()
+        # State without manifest == uncommitted == absent, not corrupt.
+        with pytest.raises(CheckpointNotFoundError, match="never committed"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    @pytest.mark.faults
+    def test_partially_written_no_state(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        (tmp_path / "ckpt" / STATE_FILE).unlink()
+        with pytest.raises(CheckpointCorruptionError, match="partially written"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    @pytest.mark.faults
+    def test_bit_flip_fails_checksum(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        corrupt_checkpoint_state(tmp_path / "ckpt")
+        with pytest.raises(CheckpointCorruptionError, match="checksum mismatch"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    @pytest.mark.faults
+    def test_corrupt_manifest_json(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        (tmp_path / "ckpt" / MANIFEST_FILE).write_text("{not json")
+        with pytest.raises(CheckpointCorruptionError, match="corrupt checkpoint manifest"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_foreign_schema_rejected(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        manifest_path = tmp_path / "ckpt" / MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema"] = "acobe.run_report"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointCorruptionError, match="not a stream checkpoint"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_future_version_rejected(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        manifest_path = tmp_path / "ckpt" / MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = CHECKPOINT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointMismatchError, match="newer"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_config_digest_mismatch_blocks_resume(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        manifest_path = tmp_path / "ckpt" / MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["config_digest"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointMismatchError, match="digest"):
+            resume_streaming(fitted, tmp_path / "ckpt")
+
+    def test_config_digest_is_config_equality(self, fitted):
+        assert config_digest(fitted.config) == config_digest(fitted.config)
+        other = ModelConfig(window=6, matrix_days=5, critic_n=2, autoencoder=TINY_AE)
+        assert config_digest(other) != config_digest(fitted.config)
+
+
+class TestRetries:
+    @pytest.mark.faults
+    def test_transient_failures_are_retried(
+        self, tmp_path, cube, group_map, fitted, no_sleep
+    ):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        telemetry = Telemetry(enabled=True)
+        previous = set_telemetry(telemetry)
+        try:
+            with transient_io_errors(2, targets=("replace",)) as stats:
+                save_checkpoint(stream, tmp_path / "ckpt", retries=3)
+        finally:
+            set_telemetry(previous)
+        assert stats["injected"] == 2
+        assert telemetry.metrics.counter("checkpoint.retries").value == 2
+        # The save committed despite the faults.
+        assert load_checkpoint(tmp_path / "ckpt").last_day == DAYS[9]
+
+    @pytest.mark.faults
+    def test_exhausted_retries_raise_typed_error(
+        self, tmp_path, cube, group_map, fitted, no_sleep
+    ):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        with transient_io_errors(100, targets=("replace",)):
+            with pytest.raises(CheckpointError, match="still failing"):
+                save_checkpoint(stream, tmp_path / "ckpt", retries=2)
+        # The directory holds no committed checkpoint afterwards.
+        with pytest.raises(CheckpointNotFoundError):
+            load_checkpoint(tmp_path / "ckpt")
+
+    @pytest.mark.faults
+    def test_operational_counters_appear_in_run_report(
+        self, tmp_path, cube, group_map, fitted, no_sleep
+    ):
+        # The counters operators alert on must survive the full export
+        # path: telemetry capture -> build_run_report -> JSON document.
+        from repro.obs import build_run_report, validate_run_report
+
+        telemetry = Telemetry(enabled=True)
+        previous = set_telemetry(telemetry)
+        try:
+            stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day="skip")
+            feed(stream, cube, 0, 10)
+            bad = cube.values[:, :, :, 10].copy()
+            bad[0, 0, 0] = np.inf
+            stream.observe_day(DAYS[10], bad)  # quarantined
+            with transient_io_errors(1, targets=("replace",)):
+                save_checkpoint(stream, tmp_path / "ckpt", retries=2)
+        finally:
+            set_telemetry(previous)
+
+        document = json.loads(
+            json.dumps(build_run_report(telemetry, name="stream", meta={"scale": "tiny"}))
+        )
+        validate_run_report(document)
+        counters = document["metrics"]["counters"]
+        assert counters["stream.days_quarantined"] == 1
+        assert counters["checkpoint.retries"] == 1
+        assert counters["checkpoint.saves"] == 1
+
+    @pytest.mark.faults
+    def test_interrupted_save_preserves_previous_checkpoint(
+        self, tmp_path, cube, group_map, fitted, no_sleep
+    ):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        feed(stream, cube, 10, 20)
+        with transient_io_errors(100, targets=("replace",)):
+            with pytest.raises(CheckpointError):
+                save_checkpoint(stream, tmp_path / "ckpt", retries=1)
+        # The old checkpoint is still complete and loadable.
+        assert load_checkpoint(tmp_path / "ckpt").last_day == DAYS[9]

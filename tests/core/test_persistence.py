@@ -95,3 +95,100 @@ def test_attach_rejects_mismatched_cube(tmp_path, cube, fitted):
     )
     with pytest.raises(ValueError, match="aspect mismatch"):
         attach_representation(loaded, other, None, DAYS[:20])
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: saved artifacts must fail with typed errors, not
+# stack traces from deep inside NumPy/zipfile (issue 6 satellite).
+# ---------------------------------------------------------------------------
+
+import json as _json
+import os as _os
+
+from repro.core.persistence import (
+    PersistenceError,
+    atomic_write_bytes,
+    atomic_write_json,
+    file_sha256,
+)
+from repro.testing.faults import (
+    FaultInjectionError,
+    flip_bit,
+    transient_io_errors,
+    truncate_file,
+)
+
+
+@pytest.mark.faults
+class TestModelPersistenceFaults:
+    def test_truncated_weight_archive(self, tmp_path, fitted):
+        save_model(fitted, tmp_path / "model")
+        truncate_file(tmp_path / "model" / "ae_a.npz", drop_bytes=64)
+        with pytest.raises(PersistenceError, match="corrupt or truncated"):
+            load_model(tmp_path / "model")
+
+    def test_bit_flipped_archive_header(self, tmp_path, fitted):
+        # A flip in the zip header breaks the archive structurally.  (A
+        # flip in the *payload* is undetectable by plain .npz -- which
+        # is why stream checkpoints add content checksums on top.)
+        save_model(fitted, tmp_path / "model")
+        flip_bit(tmp_path / "model" / "ae_b.npz", offset=0)
+        with pytest.raises(PersistenceError):
+            load_model(tmp_path / "model")
+
+    def test_missing_config_is_file_not_found(self, tmp_path, fitted):
+        save_model(fitted, tmp_path / "model")
+        (tmp_path / "model" / "config.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "model")
+
+    def test_corrupt_config_json(self, tmp_path, fitted):
+        save_model(fitted, tmp_path / "model")
+        (tmp_path / "model" / "config.json").write_text("{oops")
+        with pytest.raises(PersistenceError, match="corrupt model config"):
+            load_model(tmp_path / "model")
+
+    def test_partially_written_model_directory(self, tmp_path, fitted):
+        # config.json names an aspect whose weight file never made it to
+        # disk -- the signature of a crash between the two writes.
+        save_model(fitted, tmp_path / "model")
+        (tmp_path / "model" / "ae_a.npz").unlink()
+        with pytest.raises(PersistenceError, match="partially written"):
+            load_model(tmp_path / "model")
+
+    def test_malformed_config_payload(self, tmp_path, fitted):
+        save_model(fitted, tmp_path / "model")
+        config_path = tmp_path / "model" / "config.json"
+        payload = _json.loads(config_path.read_text())
+        del payload["config"]["autoencoder"]
+        config_path.write_text(_json.dumps(payload))
+        with pytest.raises(PersistenceError, match="malformed model config"):
+            load_model(tmp_path / "model")
+
+
+@pytest.mark.faults
+class TestAtomicWrites:
+    def test_failed_write_leaves_no_artifact(self, tmp_path):
+        target = tmp_path / "doc.json"
+        with transient_io_errors(1, targets=("replace",)):
+            with pytest.raises(FaultInjectionError):
+                atomic_write_json(target, {"k": 1})
+        assert not target.exists()
+        # No temp-file litter either.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_rewrite_preserves_old_content(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"generation": 1})
+        with transient_io_errors(1, targets=("replace",)):
+            with pytest.raises(FaultInjectionError):
+                atomic_write_json(target, {"generation": 2})
+        assert _json.loads(target.read_text()) == {"generation": 1}
+
+    def test_atomic_write_round_trip_and_checksum(self, tmp_path):
+        payload = _os.urandom(1 << 12)
+        path = atomic_write_bytes(tmp_path / "blob.bin", payload)
+        assert path.read_bytes() == payload
+        import hashlib
+
+        assert file_sha256(path) == hashlib.sha256(payload).hexdigest()

@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.core.detector import CompoundBehaviorModel, ModelConfig
-from repro.core.streaming import StreamingDetector
+from repro.core.streaming import DailyResult, DegradedDayResult, ScoreSummary, StreamingDetector
+from repro.testing.faults import poison_slab
 from repro.features.measurements import MeasurementCube
 from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
 from repro.nn.autoencoder import AutoencoderConfig
@@ -219,3 +220,156 @@ class TestStreamingTelemetry:
         assert day_seconds.summary()["count"] == N_DAYS
         span = telemetry.find_span("streaming.observe_day")
         assert span is not None and "latency_seconds" in span.attributes
+
+
+class TestScoreSummaryEmpty:
+    """Regression: a zero-user day must not crash np.min (issue 6 satellite)."""
+
+    def test_empty_scores_yield_nan_summary(self):
+        summary = ScoreSummary.from_scores(np.array([]))
+        assert np.isnan(summary.min)
+        assert np.isnan(summary.median)
+        assert np.isnan(summary.max)
+
+    def test_single_score_summary(self):
+        summary = ScoreSummary.from_scores(np.array([2.5]))
+        assert summary.min == summary.median == summary.max == 2.5
+
+
+class TestDegradationPolicies:
+    """on_bad_day: strict raises, skip quarantines, impute repairs."""
+
+    def test_unknown_policy_rejected(self, cube, group_map, fitted):
+        with pytest.raises(ValueError, match="on_bad_day"):
+            StreamingDetector(fitted, cube.users, group_map, on_bad_day="yolo")
+
+    def test_skip_quarantines_and_preserves_history(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day="skip")
+        stream.observe_day(DAYS[0], cube.values[:, :, :, 0])
+        bad = poison_slab(cube.values[:, :, :, 1], n_values=3, seed=5)
+        out = stream.observe_day(DAYS[1], bad)
+        assert isinstance(out, DegradedDayResult)
+        assert out.reason == "non-finite"
+        assert out.policy == "skip"
+        assert out.n_bad_values == 3
+        assert out.bad_users  # names, not indices
+        assert set(out.bad_users) <= set(cube.users)
+        # The poisoned day advanced the cursor but never entered history.
+        assert len(stream._history) == 1
+        assert stream.last_day == DAYS[1]
+        assert stream.days_quarantined == 1
+        with pytest.raises(ValueError, match="strictly increasing"):
+            stream.observe_day(DAYS[1], cube.values[:, :, :, 1])
+
+    def test_skip_quarantines_bad_shape(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day="skip")
+        out = stream.observe_day(DAYS[0], np.zeros((2, 3)))
+        assert isinstance(out, DegradedDayResult)
+        assert out.reason == "bad-shape"
+        assert len(stream._history) == 0
+
+    def test_stream_survives_quarantine_and_keeps_scoring(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day="skip")
+        scored = 0
+        for d, day in enumerate(DAYS):
+            slab = cube.values[:, :, :, d]
+            if d in (3, 15, 27):
+                slab = poison_slab(slab, n_values=2, seed=d)
+            out = stream.observe_day(day, slab)
+            if isinstance(out, DailyResult):
+                scored += 1
+        assert stream.days_quarantined == 3
+        assert scored > 0
+        # Every emitted score stayed finite despite the poisoned feed.
+        assert stream.days_observed == N_DAYS
+
+    def test_impute_group_mean_repairs_and_scores(self, cube, group_map, fitted):
+        stream = StreamingDetector(
+            fitted, cube.users, group_map, on_bad_day="impute-group-mean"
+        )
+        results = {}
+        for d, day in enumerate(DAYS):
+            slab = cube.values[:, :, :, d]
+            if d == 20:
+                slab = poison_slab(slab, n_values=4, seed=9)
+            out = stream.observe_day(day, slab)
+            if isinstance(out, DailyResult):
+                results[d] = out
+        assert stream.days_imputed == 1
+        assert stream.values_imputed == 4
+        assert stream.days_quarantined == 0
+        # The imputed day was scored, finitely, and flagged on the result.
+        assert 20 in results
+        assert results[20].imputed_values == 4
+        for arr in results[20].scores.values():
+            assert np.isfinite(arr).all()
+
+    def test_impute_matches_group_mean_exactly(self, cube, group_map, fitted):
+        stream = StreamingDetector(
+            fitted, cube.users, group_map, on_bad_day="impute-group-mean"
+        )
+        slab = cube.values[:, :, :, 0].copy()
+        slab[0, 1, 1] = np.nan  # u0 is in g1 = users 0..2
+        repaired = stream._impute_group_mean(slab, ~np.isfinite(slab))
+        expected = (cube.values[1, 1, 1, 0] + cube.values[2, 1, 1, 0]) / 2.0
+        assert repaired[0, 1, 1] == pytest.approx(expected)
+        # Untouched cells are bit-identical.
+        mask = np.ones_like(slab, dtype=bool)
+        mask[0, 1, 1] = False
+        np.testing.assert_array_equal(repaired[mask], cube.values[:, :, :, 0][mask])
+
+    def test_impute_falls_back_to_zero_when_whole_group_is_bad(
+        self, cube, group_map, fitted
+    ):
+        stream = StreamingDetector(
+            fitted, cube.users, group_map, on_bad_day="impute-group-mean"
+        )
+        slab = cube.values[:, :, :, 0].copy()
+        slab[0:3, 2, 0] = np.inf  # all of g1 at one cell
+        repaired = stream._impute_group_mean(slab, ~np.isfinite(slab))
+        assert (repaired[0:3, 2, 0] == 0.0).all()
+
+    def test_impute_cannot_fix_shape_so_it_quarantines(self, cube, group_map, fitted):
+        stream = StreamingDetector(
+            fitted, cube.users, group_map, on_bad_day="impute-group-mean"
+        )
+        out = stream.observe_day(DAYS[0], np.zeros((4, 4)))
+        assert isinstance(out, DegradedDayResult)
+        assert out.reason == "bad-shape"
+
+    def test_clean_days_identical_across_policies(self, cube, group_map, fitted):
+        """Degradation never perturbs the math on healthy input."""
+        outputs = {}
+        for policy in ("strict", "skip", "impute-group-mean"):
+            stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day=policy)
+            outputs[policy] = {}
+            for d, day in enumerate(DAYS):
+                out = stream.observe_day(day, cube.values[:, :, :, d])
+                if isinstance(out, DailyResult):
+                    outputs[policy][day] = out
+        for policy in ("skip", "impute-group-mean"):
+            assert set(outputs[policy]) == set(outputs["strict"])
+            for day in outputs["strict"]:
+                for aspect in outputs["strict"][day].scores:
+                    np.testing.assert_array_equal(
+                        outputs[policy][day].scores[aspect],
+                        outputs["strict"][day].scores[aspect],
+                    )
+
+    def test_quarantine_counter_reaches_telemetry(self, cube, group_map, fitted):
+        from repro.obs import Telemetry, set_telemetry
+
+        telemetry = Telemetry(enabled=True)
+        previous = set_telemetry(telemetry)
+        try:
+            stream = StreamingDetector(fitted, cube.users, group_map, on_bad_day="skip")
+            stream.observe_day(DAYS[0], poison_slab(cube.values[:, :, :, 0], seed=1))
+            stream.observe_day(DAYS[1], poison_slab(cube.values[:, :, :, 1], seed=2))
+            stream.observe_day(DAYS[2], cube.values[:, :, :, 2])
+        finally:
+            set_telemetry(previous)
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["stream.days_quarantined"] == 2
+        assert counters["streaming.days_total"] == 3
+        span = telemetry.find_span("streaming.quarantine_day")
+        assert span is not None and span.attributes["reason"] == "non-finite"

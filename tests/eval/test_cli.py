@@ -28,6 +28,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["case-study", "mirai"])
 
+    def test_stream_args(self):
+        args = build_parser().parse_args(
+            [
+                "stream",
+                "--checkpoint-dir", "/tmp/ckpt",
+                "--resume",
+                "--checkpoint-every", "5",
+                "--stop-after-days", "40",
+                "--on-bad-day", "skip",
+            ]
+        )
+        assert args.command == "stream"
+        assert args.checkpoint_dir == "/tmp/ckpt"
+        assert args.resume is True
+        assert args.checkpoint_every == 5
+        assert args.stop_after_days == 40
+        assert args.on_bad_day == "skip"
+
+    def test_stream_defaults_leave_policy_unset(self):
+        # None lets a resumed stream inherit the checkpointed policy.
+        args = build_parser().parse_args(["stream"])
+        assert args.on_bad_day is None
+        assert args.resume is False
+        assert args.checkpoint_every == 1
+
+    def test_stream_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--on-bad-day", "ignore"])
+
 
 class TestCommands:
     def test_presets_runs(self, capsys):
@@ -49,3 +78,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "injected insiders:" in out
         assert (tmp_path / "device.csv").exists()
+
+    def test_stream_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["stream", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_stream_rejects_bad_checkpoint_interval(self, capsys):
+        assert main(["stream", "--checkpoint-every", "0"]) == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_stream_resume_without_model_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stream", "--resume", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "no saved model" in capsys.readouterr().err

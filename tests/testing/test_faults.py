@@ -1,0 +1,124 @@
+"""Tests for the fault-injection harness itself (repro.testing.faults)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.testing.faults import (
+    FaultInjectionError,
+    flip_bit,
+    poison_slab,
+    transient_io_errors,
+    truncate_file,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestTransientIOErrors:
+    def test_fails_then_recovers(self, tmp_path):
+        target = tmp_path / "victim.txt"
+        source = tmp_path / "src.txt"
+        with transient_io_errors(2, targets=("replace",)) as stats:
+            for attempt in range(4):
+                source.write_text(f"attempt {attempt}")
+                try:
+                    os.replace(source, target)
+                except FaultInjectionError:
+                    continue
+                break
+        assert stats["injected"] == 2
+        assert target.read_text() == "attempt 2"
+
+    def test_path_substring_filters(self, tmp_path):
+        a, b = tmp_path / "keep.txt", tmp_path / "fail.txt"
+        with transient_io_errors(10, targets=("replace",), path_substring="fail") as stats:
+            src = tmp_path / "s"
+            src.write_text("x")
+            os.replace(src, a)  # unmatched: passes through
+            src.write_text("y")
+            with pytest.raises(FaultInjectionError):
+                os.replace(src, b)
+        # os.replace matches on its *source* argument too; here only the
+        # matched destination call was sabotaged.
+        assert stats["injected"] == 1
+        assert a.read_text() == "x"
+
+    def test_open_target_only_fails_writes(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("before")
+        with transient_io_errors(10, targets=("open",), path_substring="data.txt"):
+            assert path.read_text() == "before"  # reads untouched
+            with pytest.raises(FaultInjectionError):
+                path.write_text("after")
+        path.write_text("after")  # restored on exit
+        assert path.read_text() == "after"
+
+    def test_restores_patched_functions(self):
+        original_replace = os.replace
+        with transient_io_errors(1, targets=("replace", "fsync")):
+            assert os.replace is not original_replace
+        assert os.replace is original_replace
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault targets"):
+            with transient_io_errors(1, targets=("unlink",)):
+                pass
+
+    def test_injected_error_is_oserror(self):
+        # Production retry loops catch OSError; the injected type must
+        # be caught by them without special-casing.
+        assert issubclass(FaultInjectionError, OSError)
+
+
+class TestFileCorruption:
+    def test_truncate_drops_tail(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"0123456789abcdef" * 4)
+        truncate_file(path, drop_bytes=16)
+        assert path.stat().st_size == 48
+
+    def test_truncate_refuses_tiny_files(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abc")
+        with pytest.raises(ValueError, match="cannot drop"):
+            truncate_file(path, drop_bytes=16)
+
+    def test_flip_bit_changes_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "f.bin"
+        payload = bytes(range(64))
+        path.write_bytes(payload)
+        flip_bit(path, offset=10, bit=3)
+        mutated = path.read_bytes()
+        assert mutated != payload
+        diff = [i for i in range(64) if mutated[i] != payload[i]]
+        assert diff == [10]
+        assert mutated[10] ^ payload[10] == 1 << 3
+
+    def test_flip_bit_default_hits_middle(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(bytes(100))
+        flip_bit(path)
+        assert path.read_bytes()[50] != 0
+
+
+class TestPoisonSlab:
+    def test_deterministic_positions(self):
+        slab = np.zeros((4, 3, 2))
+        a = poison_slab(slab, n_values=3, seed=42)
+        b = poison_slab(slab, n_values=3, seed=42)
+        np.testing.assert_array_equal(np.isnan(a), np.isnan(b))
+        assert int(np.isnan(a).sum()) == 3
+
+    def test_original_is_untouched(self):
+        slab = np.ones((2, 2, 2))
+        poisoned = poison_slab(slab, n_values=2, seed=0)
+        assert np.isfinite(slab).all()
+        assert not np.isfinite(poisoned).all()
+
+    def test_explicit_positions_and_inf(self):
+        slab = np.zeros((2, 2))
+        poisoned = poison_slab(slab, value=np.inf, positions=[(0, 1), (1, 0)])
+        assert np.isinf(poisoned[0, 1]) and np.isinf(poisoned[1, 0])
+        assert poisoned[0, 0] == 0.0 and poisoned[1, 1] == 0.0
