@@ -70,7 +70,10 @@ class ModelRunCache:
     def _factory(self, name):
         cfg = self.benchmark.config
         common = dict(
-            ae_config=cfg.autoencoder, train_stride=cfg.train_stride, n_jobs=cfg.n_jobs
+            ae_config=cfg.autoencoder,
+            train_stride=cfg.train_stride,
+            n_jobs=cfg.n_jobs,
+            n_shards=cfg.n_shards,
         )
         window = dict(window=cfg.window, matrix_days=cfg.matrix_days)
         factories = {

@@ -1,0 +1,162 @@
+"""Monolithic-vs-sharded wall-clock benchmark of the detection pipeline.
+
+Runs the representation + scoring stages of the staged detection
+pipeline over the same synthetic population twice -- once monolithic
+(``n_shards=1, n_jobs=1``) and once user-sharded (``n_shards=4,
+n_jobs=4``) -- verifies the outputs are bit-identical, and records both
+wall-clock times (and the speedup) to
+``benchmarks/results/shard_scaling.txt`` plus the machine-readable
+``benchmarks/results/BENCH_shard_scaling.json``.
+
+Only the stages the shard plan actually fans out are timed: the
+deviation pass and repeated ``score_view`` sweeps with a pre-trained
+autoencoder.  Training is deliberately *outside* the timed region --
+the ensemble trains one network per aspect on the pooled population
+(a global reduction), so it cannot shard by user and would only dilute
+the measurement.
+
+The >= 1.5x speedup assertion only runs on machines with at least four
+CPU cores -- on fewer cores the sharded run cannot beat serial and the
+harness records the measurement without failing.
+"""
+
+import os
+import time
+from datetime import date, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import DeviationConfig
+from repro.core.pipeline import DetectionPipeline
+from repro.core.representation import RepresentationPipeline
+from repro.features.measurements import MeasurementCube
+from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
+from repro.nn.autoencoder import Autoencoder, AutoencoderConfig
+from repro.utils.timeutil import TWO_TIMEFRAMES
+
+from .conftest import save_result, save_result_json
+
+N_USERS = 400
+N_FEATURES = 12
+N_DAYS = 80
+WINDOW = 8
+MATRIX_DAYS = 6
+N_SHARDS = 4
+SCORE_REPEATS = 3
+BATCH_SIZE = 512
+SPEEDUP_FLOOR = 1.5
+
+AE_CONFIG = AutoencoderConfig(
+    encoder_units=(256, 128),
+    epochs=1,
+    batch_size=BATCH_SIZE,
+    optimizer="adam",
+    early_stopping_patience=None,
+    validation_split=0.0,
+    seed=7,
+)
+
+
+def build_population():
+    """One synthetic aspect big enough for scoring to dominate."""
+    features = tuple(FeatureSpec(f"f{i}", "a") for i in range(N_FEATURES))
+    fs = FeatureSet([AspectSpec("a", features)])
+    users = [f"u{i:04d}" for i in range(N_USERS)]
+    days = [date(2010, 1, 1) + timedelta(days=i) for i in range(N_DAYS)]
+    values = (
+        np.random.default_rng(23)
+        .poisson(5.0, size=(N_USERS, N_FEATURES, len(TWO_TIMEFRAMES), N_DAYS))
+        .astype(float)
+    )
+    cube = MeasurementCube(values, users, fs, TWO_TIMEFRAMES, days)
+    group_map = {u: f"g{i % 4}" for i, u in enumerate(users)}
+    return cube, group_map
+
+
+def build_view(engine, cube, group_map, dev_config, anchor_days):
+    """Deviation pass + pooled matrix view via ``engine``'s stages."""
+    deviations = engine.representation.deviation_cube(cube, group_map, dev_config)
+    pipeline = RepresentationPipeline.from_deviations(deviations)
+    return pipeline.view(anchor_days, MATRIX_DAYS)
+
+
+def timed_run(engine, cube, group_map, dev_config, anchor_days, autoencoder):
+    start = time.perf_counter()
+    view = build_view(engine, cube, group_map, dev_config, anchor_days)
+    for _ in range(SCORE_REPEATS):
+        errors = engine.scoring.score_view(view, autoencoder, batch_size=BATCH_SIZE)
+    return time.perf_counter() - start, errors
+
+
+def test_shard_scaling_and_parity():
+    cube, group_map = build_population()
+    dev_config = DeviationConfig(window=WINDOW)
+
+    # Untimed setup: derive the anchor grid and pre-train the scorer on
+    # the monolithic view (training is global; sharding never touches it).
+    deviation_days = cube.days[dev_config.history_days :]
+    anchor_days = list(deviation_days[MATRIX_DAYS - 1 :])
+    reference = DetectionPipeline.for_users(N_USERS, n_shards=1, n_jobs=1)
+    warm_view = build_view(reference, cube, group_map, dev_config, anchor_days)
+    autoencoder = Autoencoder(input_dim=warm_view.dim, config=AE_CONFIG)
+    autoencoder.fit(warm_view)
+
+    serial_s, serial_errors = timed_run(
+        reference, cube, group_map, dev_config, anchor_days, autoencoder
+    )
+    sharded = DetectionPipeline.for_users(N_USERS, n_shards=N_SHARDS, n_jobs=N_SHARDS)
+    sharded_s, sharded_errors = timed_run(
+        sharded, cube, group_map, dev_config, anchor_days, autoencoder
+    )
+    speedup = serial_s / sharded_s if sharded_s > 0 else float("inf")
+
+    cores = os.cpu_count() or 1
+    lines = [
+        "User-sharded detection-pipeline speedup (representation + scoring)",
+        f"users={N_USERS}  features={N_FEATURES}  days={N_DAYS}  "
+        f"anchors={len(anchor_days)}  dim={warm_view.dim}  "
+        f"score_repeats={SCORE_REPEATS}",
+        f"cpu_cores={cores}",
+        f"monolithic (n_shards=1, n_jobs=1): {serial_s:8.2f} s",
+        f"sharded    (n_shards={N_SHARDS}, n_jobs={N_SHARDS}): {sharded_s:8.2f} s",
+        f"speedup: {speedup:.2f}x",
+    ]
+
+    # Correctness first: the sharded pipeline must be bit-identical.
+    np.testing.assert_array_equal(serial_errors, sharded_errors)
+    lines.append("parity: sharded scores bit-identical to monolithic")
+
+    save_result("shard_scaling", "\n".join(lines))
+    save_result_json(
+        "shard_scaling",
+        metrics={
+            "serial_seconds": serial_s,
+            "sharded_seconds": sharded_s,
+            "speedup": speedup,
+            "parity": True,
+        },
+        params={
+            "n_users": N_USERS,
+            "n_features": N_FEATURES,
+            "n_days": N_DAYS,
+            "window": WINDOW,
+            "matrix_days": MATRIX_DAYS,
+            "n_shards": N_SHARDS,
+            "n_jobs": N_SHARDS,
+            "score_repeats": SCORE_REPEATS,
+            "encoder_units": list(AE_CONFIG.encoder_units),
+            "view_dim": int(warm_view.dim),
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        meta={"cpu_cores": cores},
+    )
+
+    if cores < N_SHARDS:
+        pytest.skip(
+            f"only {cores} core(s): speedup not measurable, results recorded"
+        )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x speedup with n_shards={N_SHARDS} "
+        f"on {cores} cores, measured {speedup:.2f}x"
+    )

@@ -20,6 +20,10 @@
 * :mod:`repro.core.checkpoint` -- durable streaming: atomic,
   checksummed checkpoint/resume of :class:`StreamingDetector` state
   with bit-identical continuation.
+* :mod:`repro.core.pipeline` -- the staged detection pipeline
+  (representation -> scoring -> critic) with deterministic user
+  sharding (:class:`ShardPlan`); results are bit-identical at any
+  shard count.
 """
 
 from repro.core.checkpoint import (
@@ -32,7 +36,7 @@ from repro.core.checkpoint import (
     resume_streaming,
     save_checkpoint,
 )
-from repro.core.critic import InvestigationList, investigation_list, rank_users
+from repro.core.critic import InvestigationList, investigation_list, rank_users, rank_votes
 from repro.core.critic_advanced import AdvancedCritic, classify_waveform, spike_score
 from repro.core.persistence import (
     PersistenceError,
@@ -66,6 +70,19 @@ from repro.core.deviation import (
     group_means,
 )
 from repro.core.matrix import CompoundMatrices, build_compound_matrices
+from repro.core.pipeline import (
+    CriticStage,
+    DetectionPipeline,
+    InvalidShardCountError,
+    RepresentationStage,
+    ScoringStage,
+    Shard,
+    ShardPlan,
+    ShardPlanError,
+    TooManyShardsError,
+    resolve_n_shards,
+    sharded_deviate_against_history,
+)
 from repro.core.representation import (
     MatrixView,
     RepresentationPipeline,
@@ -96,12 +113,21 @@ __all__ = [
     "save_model",
     "spike_score",
     "CompoundMatrices",
+    "CriticStage",
+    "DetectionPipeline",
     "DeviationConfig",
     "DeviationCube",
+    "InvalidShardCountError",
     "InvestigationList",
     "MatrixView",
     "ModelConfig",
     "RepresentationPipeline",
+    "RepresentationStage",
+    "ScoringStage",
+    "Shard",
+    "ShardPlan",
+    "ShardPlanError",
+    "TooManyShardsError",
     "aspect_rows",
     "build_compound_matrices",
     "compound_values",
@@ -117,4 +143,7 @@ __all__ = [
     "make_no_group",
     "make_one_day",
     "rank_users",
+    "rank_votes",
+    "resolve_n_shards",
+    "sharded_deviate_against_history",
 ]

@@ -8,12 +8,23 @@ resume, and days k+1..n produce scores bit-identical to an
 uninterrupted run** (pinned by ``tests/core/test_checkpoint_property.py``
 and the golden-file integration test).
 
-Layout of a checkpoint directory::
+Layout of a checkpoint directory (version 2, shard-aware)::
 
     <directory>/
-      state.npz       # every rolling array (history, sigma/weight buffers)
-      manifest.json   # schema + version, day cursor, users/groups,
-                      # config digest, degradation counters, checksums
+      state_shard_000.npz  # per-user rolling arrays for shard 0's users
+      state_shard_001.npz  # ... one slab per shard of the stream's
+      ...                  #     ShardPlan (n_shards=1 -> a single slab)
+      state_groups.npz     # per-group rolling arrays (groups are global)
+      manifest.json        # schema + version, day cursor, users/groups,
+                           # shard table, config digest, degradation
+                           # counters, per-file checksums
+
+The shard slabs partition the user axis exactly along the stream's
+:class:`~repro.core.pipeline.ShardPlan`, so a large population's
+checkpoint writes in user-range pieces; loading concatenates the
+slabs back in shard order, which restores the original arrays
+bit-for-bit.  Version-1 checkpoints (a single ``state.npz``) are still
+loaded transparently as the one-shard special case.
 
 Durability design, in order of defence:
 
@@ -62,18 +73,29 @@ __all__ = [
     "CheckpointError",
     "CheckpointMismatchError",
     "CheckpointNotFoundError",
+    "GROUP_STATE_FILE",
     "LoadedCheckpoint",
+    "STATE_FILE",
     "config_digest",
     "load_checkpoint",
     "resume_streaming",
     "save_checkpoint",
+    "shard_state_file",
 ]
 
 CHECKPOINT_SCHEMA = "acobe.stream_checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 MANIFEST_FILE = "manifest.json"
+#: Legacy version-1 single-slab state file (still readable).
 STATE_FILE = "state.npz"
+#: Version-2 per-group rolling arrays (groups are global, never sharded).
+GROUP_STATE_FILE = "state_groups.npz"
+
+
+def shard_state_file(index: int) -> str:
+    """The version-2 state file holding shard ``index``'s user arrays."""
+    return f"state_shard_{index:03d}.npz"
 
 #: Patchable sleep for the retry loop (tests stub it out).
 _SLEEP: Callable[[float], None] = time.sleep
@@ -105,12 +127,22 @@ class CheckpointMismatchError(CheckpointError):
 def config_digest(config: ModelConfig) -> str:
     """A stable hex digest of a model configuration.
 
-    Two models share a digest iff their configurations are equal; the
-    digest is what ties a checkpoint to the model that produced it
-    (weights are covered transitively -- training is deterministic in
-    the config, see :mod:`repro.nn.parallel`).
+    Two models share a digest iff their *numerically relevant*
+    configurations are equal; the digest is what ties a checkpoint to
+    the model that produced it (weights are covered transitively --
+    training is deterministic in the config, see
+    :mod:`repro.nn.parallel`).
+
+    Execution-layout knobs that provably do not change results are
+    excluded: ``n_shards`` (the staged pipeline is bit-identical at any
+    shard count, see :mod:`repro.core.pipeline`), so a checkpoint
+    written at one shard count resumes at any other -- and version-1
+    checkpoints (written before the field existed) keep matching.
+    ``n_jobs`` stays in the digest for compatibility with already
+    written checkpoints (changing it would orphan them).
     """
     doc = asdict(config)
+    doc.pop("n_shards", None)
     canonical = json.dumps(doc, sort_keys=True, default=list)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -145,19 +177,34 @@ def _with_retries(
     ) from last
 
 
-def _state_to_npz_bytes(state: StreamState) -> bytes:
-    arrays: Dict[str, np.ndarray] = {}
-    for i, slab in enumerate(state.history):
-        arrays[f"history_{i}"] = slab
-    for i, (sigma, weight) in enumerate(state.sigma_buffer):
-        arrays[f"sigma_{i}"] = sigma
-        arrays[f"sigweight_{i}"] = weight
-    for i, (sigma, weight) in enumerate(state.group_sigma_buffer):
-        arrays[f"gsigma_{i}"] = sigma
-        arrays[f"gweight_{i}"] = weight
+def _npz_bytes(arrays: Dict[str, np.ndarray]) -> bytes:
     buffer = io.BytesIO()
     np.savez(buffer, **arrays)
     return buffer.getvalue()
+
+
+def _shard_state_bytes(state: StreamState, start: int, stop: int) -> bytes:
+    """Serialize the per-user rolling arrays for users ``[start, stop)``.
+
+    Every per-user array has the user axis first, so a basic slice
+    selects the shard's rows without copying the rest.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for i, slab in enumerate(state.history):
+        arrays[f"history_{i}"] = slab[start:stop]
+    for i, (sigma, weight) in enumerate(state.sigma_buffer):
+        arrays[f"sigma_{i}"] = sigma[start:stop]
+        arrays[f"sigweight_{i}"] = weight[start:stop]
+    return _npz_bytes(arrays)
+
+
+def _group_state_bytes(state: StreamState) -> bytes:
+    """Serialize the per-group rolling arrays (global, never sharded)."""
+    arrays: Dict[str, np.ndarray] = {}
+    for i, (sigma, weight) in enumerate(state.group_sigma_buffer):
+        arrays[f"gsigma_{i}"] = sigma
+        arrays[f"gweight_{i}"] = weight
+    return _npz_bytes(arrays)
 
 
 def _state_from_npz(path: Path, counts: Mapping[str, int]) -> StreamState:
@@ -185,6 +232,76 @@ def _state_from_npz(path: Path, counts: Mapping[str, int]) -> StreamState:
         raise CheckpointCorruptionError(
             f"unreadable checkpoint state {path}: {exc}"
         ) from exc
+    return StreamState(history=history, sigma_buffer=sigma, group_sigma_buffer=group_sigma,
+                       last_day=None)
+
+
+def _state_from_shards(directory: Path, manifest: Mapping[str, Any]) -> StreamState:
+    """Rebuild a full :class:`StreamState` from version-2 shard slabs.
+
+    Shard slabs are concatenated along the user axis in shard-index
+    order; because :func:`save_checkpoint` sliced them off the same
+    arrays along a contiguous partition, the concatenation restores the
+    originals bit-for-bit.
+    """
+    counts = manifest.get("counts", {})
+    n_history = int(counts.get("history", 0))
+    n_sigma = int(counts.get("sigma", 0))
+    n_group = int(counts.get("group_sigma", 0))
+    shards = sorted(manifest.get("shards", []), key=lambda entry: int(entry["index"]))
+    if not shards:
+        raise CheckpointCorruptionError(
+            f"version-2 checkpoint at {directory} lists no shards in its manifest"
+        )
+
+    per_shard: list = []
+    for entry in shards:
+        path = directory / str(entry["file"])
+        try:
+            with np.load(path) as archive:
+                history = [
+                    np.asarray(archive[f"history_{i}"], dtype=np.float64)
+                    for i in range(n_history)
+                ]
+                sigma = [
+                    (
+                        np.asarray(archive[f"sigma_{i}"], dtype=np.float64),
+                        np.asarray(archive[f"sigweight_{i}"], dtype=np.float64),
+                    )
+                    for i in range(n_sigma)
+                ]
+        except (zipfile.BadZipFile, EOFError, KeyError, ValueError, OSError) as exc:
+            raise CheckpointCorruptionError(
+                f"unreadable checkpoint shard {path}: {exc}"
+            ) from exc
+        per_shard.append((history, sigma))
+
+    group_path = directory / str(manifest.get("group_file", GROUP_STATE_FILE))
+    try:
+        with np.load(group_path) as archive:
+            group_sigma = [
+                (
+                    np.asarray(archive[f"gsigma_{i}"], dtype=np.float64),
+                    np.asarray(archive[f"gweight_{i}"], dtype=np.float64),
+                )
+                for i in range(n_group)
+            ]
+    except (zipfile.BadZipFile, EOFError, KeyError, ValueError, OSError) as exc:
+        raise CheckpointCorruptionError(
+            f"unreadable checkpoint group state {group_path}: {exc}"
+        ) from exc
+
+    def cat(pieces):
+        return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+
+    history = [cat([shard[0][i] for shard in per_shard]) for i in range(n_history)]
+    sigma = [
+        (
+            cat([shard[1][i][0] for shard in per_shard]),
+            cat([shard[1][i][1] for shard in per_shard]),
+        )
+        for i in range(n_sigma)
+    ]
     return StreamState(history=history, sigma_buffer=sigma, group_sigma_buffer=group_sigma,
                        last_day=None)
 
@@ -219,14 +336,39 @@ def save_checkpoint(
     telemetry = get_telemetry()
     with telemetry.span("checkpoint.save", directory=str(directory)) as span:
         state = stream.export_state()
-        payload = _state_to_npz_bytes(state)
-        state_path = directory / STATE_FILE
+        plan = stream.shard_plan
+
+        checksums: Dict[str, str] = {}
+        shard_table = []
+        total_bytes = 0
+        for shard in plan:
+            filename = shard_state_file(shard.index)
+            payload = _shard_state_bytes(state, shard.start, shard.stop)
+            path = directory / filename
+            _with_retries(
+                lambda path=path, payload=payload: atomic_write_bytes(path, payload),
+                f"writing {path}",
+                retries,
+                backoff,
+            )
+            checksums[filename] = hashlib.sha256(payload).hexdigest()
+            shard_table.append(
+                {"index": shard.index, "start": shard.start, "stop": shard.stop,
+                 "file": filename}
+            )
+            total_bytes += len(payload)
+
+        group_payload = _group_state_bytes(state)
+        group_path = directory / GROUP_STATE_FILE
         _with_retries(
-            lambda: atomic_write_bytes(state_path, payload),
-            f"writing {state_path}",
+            lambda: atomic_write_bytes(group_path, group_payload),
+            f"writing {group_path}",
             retries,
             backoff,
         )
+        checksums[GROUP_STATE_FILE] = hashlib.sha256(group_payload).hexdigest()
+        total_bytes += len(group_payload)
+
         manifest = {
             "schema": CHECKPOINT_SCHEMA,
             "version": CHECKPOINT_VERSION,
@@ -236,6 +378,8 @@ def save_checkpoint(
             "groups": list(stream.groups),
             "group_map": dict(stream.group_map),
             "on_bad_day": stream.on_bad_day,
+            "shards": shard_table,
+            "group_file": GROUP_STATE_FILE,
             "counts": {
                 "history": len(state.history),
                 "sigma": len(state.sigma_buffer),
@@ -247,7 +391,7 @@ def save_checkpoint(
                 "days_imputed": state.days_imputed,
                 "values_imputed": state.values_imputed,
             },
-            "checksums": {STATE_FILE: hashlib.sha256(payload).hexdigest()},
+            "checksums": checksums,
         }
         _with_retries(
             lambda: atomic_write_json(directory / MANIFEST_FILE, manifest),
@@ -255,9 +399,18 @@ def save_checkpoint(
             retries,
             backoff,
         )
+        # Post-commit cleanup: drop state files the new manifest does not
+        # reference (a legacy v1 state.npz, or shard slabs beyond a now
+        # smaller plan).  The load path ignores them, but leaving them
+        # would let the fault drills corrupt a file nobody reads.
+        expected = set(checksums)
+        for stale in directory.glob("state*.npz"):
+            if stale.name not in expected:
+                stale.unlink(missing_ok=True)
         telemetry.counter("checkpoint.saves").inc()
         span.annotate(
-            bytes=len(payload),
+            bytes=total_bytes,
+            shards=len(plan),
             history_days=len(state.history),
             last_day=manifest["last_day"],
         )
@@ -295,10 +448,14 @@ def load_checkpoint(
 ) -> LoadedCheckpoint:
     """Load and validate a checkpoint written by :func:`save_checkpoint`.
 
+    Both layouts are supported: version 2 (per-shard user slabs plus a
+    group slab) and the legacy version-1 single ``state.npz``, which
+    loads as the one-shard special case.
+
     Raises:
         CheckpointNotFoundError: no committed manifest at ``directory``
-            (including the partially-written case where only
-            ``state.npz`` made it to disk).
+            (including the partially-written case where only state
+            files made it to disk).
         CheckpointCorruptionError: manifest unreadable, state file
             missing, checksum mismatch, or archive truncated/corrupt.
     """
@@ -306,9 +463,9 @@ def load_checkpoint(
     manifest_path = directory / MANIFEST_FILE
     if not manifest_path.exists():
         detail = ""
-        if (directory / STATE_FILE).exists():
+        if any(directory.glob("state*.npz")):
             detail = (
-                " (a state file exists without a manifest: the checkpoint "
+                " (state files exist without a manifest: the checkpoint "
                 "was never committed -- treat it as absent)"
             )
         raise CheckpointNotFoundError(f"no checkpoint manifest at {directory}{detail}")
@@ -334,24 +491,37 @@ def load_checkpoint(
             f"this build supports ({CHECKPOINT_VERSION}); upgrade before resuming"
         )
 
-    state_path = directory / STATE_FILE
-    if not state_path.exists():
-        raise CheckpointCorruptionError(
-            f"partially written checkpoint at {directory}: manifest present "
-            f"but {STATE_FILE} is missing"
+    version = int(manifest.get("version", 0))
+    if version <= 1:
+        expected_files = [STATE_FILE]
+    else:
+        expected_files = [str(s["file"]) for s in manifest.get("shards", [])]
+        expected_files.append(str(manifest.get("group_file", GROUP_STATE_FILE)))
+    for filename in expected_files:
+        file_path = directory / filename
+        if not file_path.exists():
+            raise CheckpointCorruptionError(
+                f"partially written checkpoint at {directory}: manifest present "
+                f"but {filename} is missing"
+            )
+        expected = manifest.get("checksums", {}).get(filename)
+        actual = _with_retries(
+            lambda file_path=file_path: file_sha256(file_path),
+            f"hashing {file_path}",
+            retries,
+            backoff,
         )
-    expected = manifest.get("checksums", {}).get(STATE_FILE)
-    actual = _with_retries(
-        lambda: file_sha256(state_path), f"hashing {state_path}", retries, backoff
-    )
-    if expected != actual:
-        raise CheckpointCorruptionError(
-            f"checksum mismatch for {state_path}: manifest says {expected}, "
-            f"file hashes to {actual} -- the checkpoint is corrupt "
-            "(truncated write or bit rot)"
-        )
+        if expected != actual:
+            raise CheckpointCorruptionError(
+                f"checksum mismatch for {file_path}: manifest says {expected}, "
+                f"file hashes to {actual} -- the checkpoint is corrupt "
+                "(truncated write or bit rot)"
+            )
 
-    state = _state_from_npz(state_path, manifest.get("counts", {}))
+    if version <= 1:
+        state = _state_from_npz(directory / STATE_FILE, manifest.get("counts", {}))
+    else:
+        state = _state_from_shards(directory, manifest)
     last_day = manifest.get("last_day")
     state.last_day = date.fromisoformat(last_day) if last_day else None
     counters = manifest.get("counters", {})

@@ -46,6 +46,42 @@ def nth_best_rank(ranks: Sequence[int], n_votes: int) -> int:
     return sorted(ranks)[n_votes - 1]
 
 
+def rank_votes(
+    aspect_scores: Mapping[str, Mapping[str, float]],
+    n_votes: int,
+) -> Dict[str, Tuple[int, Tuple[int, ...]]]:
+    """Algorithm 1's shared voting core: rank every aspect, take N-th best.
+
+    The single implementation behind both :func:`investigation_list` and
+    :class:`repro.core.critic_advanced.AdvancedCritic` -- each aspect
+    ranks its users (:func:`rank_users`), a user's per-aspect ranks are
+    gathered in aspect order, and the priority is the N-th smallest
+    (:func:`nth_best_rank`).
+
+    Args:
+        aspect_scores: aspect name -> (user -> anomaly score).  Every
+            aspect must score the same user population.
+        n_votes: the critic's N.
+
+    Returns:
+        user -> ``(priority, per_aspect_ranks)`` with ranks in aspect
+        order.
+    """
+    if not aspect_scores:
+        raise ValueError("need at least one aspect")
+    aspect_names = tuple(aspect_scores.keys())
+    user_sets = [set(scores) for scores in aspect_scores.values()]
+    users = user_sets[0]
+    if any(s != users for s in user_sets[1:]):
+        raise ValueError("all aspects must score the same users")
+    ranks_by_aspect = {name: rank_users(scores) for name, scores in aspect_scores.items()}
+    votes: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+    for user in sorted(users):
+        ranks = tuple(ranks_by_aspect[name][user] for name in aspect_names)
+        votes[user] = (nth_best_rank(ranks, n_votes), ranks)
+    return votes
+
+
 @dataclass(frozen=True)
 class InvestigationEntry:
     """One row of the investigation list."""
@@ -110,20 +146,12 @@ def investigation_list(
     Returns:
         Users sorted by investigation priority (ties broken by user id).
     """
-    if not aspect_scores:
-        raise ValueError("need at least one aspect")
-    aspect_names = tuple(aspect_scores.keys())
-    user_sets = [set(scores) for scores in aspect_scores.values()]
-    users = user_sets[0]
-    if any(s != users for s in user_sets[1:]):
-        raise ValueError("all aspects must score the same users")
-
-    ranks_by_aspect = {name: rank_users(scores) for name, scores in aspect_scores.items()}
-    entries = []
-    for user in sorted(users):
-        ranks = tuple(ranks_by_aspect[name][user] for name in aspect_names)
-        entries.append(
-            InvestigationEntry(user=user, priority=nth_best_rank(ranks, n_votes), ranks=ranks)
-        )
+    votes = rank_votes(aspect_scores, n_votes)
+    entries = [
+        InvestigationEntry(user=user, priority=priority, ranks=ranks)
+        for user, (priority, ranks) in votes.items()
+    ]
     entries.sort(key=lambda e: (e.priority, e.user))
-    return InvestigationList(entries=entries, n_votes=n_votes, aspect_names=aspect_names)
+    return InvestigationList(
+        entries=entries, n_votes=n_votes, aspect_names=tuple(aspect_scores.keys())
+    )

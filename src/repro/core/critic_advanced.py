@@ -30,7 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.critic import InvestigationEntry, InvestigationList, nth_best_rank, rank_users
+from repro.core.critic import InvestigationEntry, InvestigationList, rank_votes
 
 #: Waveform classes produced by :func:`classify_waveform`.
 WAVEFORM_FLAT = "flat"
@@ -171,18 +171,18 @@ class AdvancedCritic:
         if self.n_votes > n_aspects:
             raise ValueError(f"n_votes {self.n_votes} exceeds aspect count {n_aspects}")
 
-        # Base rank voting on max daily scores (Algorithm 1).
-        ranks_per_aspect = {}
+        # Base rank voting on max daily scores (Algorithm 1), via the
+        # shared voting core in repro.core.critic.
+        aspect_scores = {}
         for aspect, array in daily_scores.items():
             if array.shape[0] != len(users):
                 raise ValueError(f"aspect {aspect!r} rows != len(users)")
-            scores = {u: float(array[i].max()) for i, u in enumerate(users)}
-            ranks_per_aspect[aspect] = rank_users(scores)
+            aspect_scores[aspect] = {u: float(array[i].max()) for i, u in enumerate(users)}
+        votes = rank_votes(aspect_scores, self.n_votes)
 
         entries = []
         for i, user in enumerate(users):
-            ranks = [ranks_per_aspect[a][user] for a in daily_scores]
-            base = nth_best_rank(ranks, self.n_votes)
+            base = votes[user][0]
 
             spikes = []
             waveforms = []

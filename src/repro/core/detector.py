@@ -31,13 +31,9 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.critic import InvestigationList, investigation_list
-from repro.core.deviation import (
-    DeviationConfig,
-    DeviationCube,
-    compute_deviations,
-    group_means,
-)
+from repro.core.critic import InvestigationList
+from repro.core.deviation import DeviationConfig, DeviationCube
+from repro.core.pipeline import DetectionPipeline, InvalidShardCountError, ShardPlan
 from repro.core.representation import MatrixView, RepresentationPipeline
 from repro.features.measurements import MeasurementCube
 from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
@@ -57,6 +53,12 @@ class ModelConfig:
     is derived from ``autoencoder.seed`` with
     :func:`repro.nn.parallel.derive_seed`, so the trained weights depend
     only on the configuration, never on scheduling.
+
+    ``n_shards`` partitions the user axis for the staged detection
+    pipeline (:mod:`repro.core.pipeline`): representation and scoring
+    run one user shard at a time (fanning out over ``n_jobs`` workers
+    when both exceed 1).  Scores and rankings are bit-identical for
+    every shard count; checkpoints are stored as per-shard slabs.
     """
 
     name: str = "ACOBE"
@@ -71,6 +73,7 @@ class ModelConfig:
     critic_n: int = 3
     train_stride: int = 1
     n_jobs: int = 1
+    n_shards: int = 1
     autoencoder: AutoencoderConfig = field(default_factory=AutoencoderConfig)
 
     def __post_init__(self) -> None:
@@ -82,6 +85,8 @@ class ModelConfig:
             raise ValueError(f"train_stride must be >= 1, got {self.train_stride}")
         if self.critic_n < 1:
             raise ValueError(f"critic_n must be >= 1, got {self.critic_n}")
+        if self.n_shards < 1:
+            raise InvalidShardCountError(f"n_shards must be >= 1, got {self.n_shards}")
 
 
 class CompoundBehaviorModel:
@@ -91,6 +96,7 @@ class CompoundBehaviorModel:
         self.config = config
         self._deviations: Optional[DeviationCube] = None
         self._pipeline: Optional[RepresentationPipeline] = None
+        self._engine: Optional[DetectionPipeline] = None
         self._aspects: List[AspectSpec] = []
         self._autoencoders: Dict[str, Autoencoder] = {}
         self._histories: Dict[str, TrainingHistory] = {}
@@ -144,7 +150,7 @@ class CompoundBehaviorModel:
         cfg = self.config
         telemetry = get_telemetry()
         with telemetry.span(
-            "detector.fit", model=cfg.name, n_jobs=cfg.n_jobs
+            "detector.fit", model=cfg.name, n_jobs=cfg.n_jobs, n_shards=cfg.n_shards
         ) as span:
             with telemetry.span("detector.representation"):
                 self._prepare_representation(cube, group_map, train_days)
@@ -185,9 +191,12 @@ class CompoundBehaviorModel:
     def score(self, days: Sequence[date], batch_size: int = 1024) -> Dict[str, np.ndarray]:
         """Per-aspect anomaly scores.
 
-        Scoring streams ``batch_size`` flattened matrices at a time
-        through each autoencoder; errors are per-row, so any batch size
-        yields the same ranking.
+        A thin driver over the staged pipeline's
+        :class:`~repro.core.pipeline.ScoringStage`: scoring streams
+        ``batch_size`` flattened matrices at a time through each
+        autoencoder, partitioned over the model's shard plan.  Errors
+        are per-row and chunk shapes are shard-independent, so any
+        batch size and any shard count yield identical scores.
 
         Returns:
             aspect name -> array ``(n_users, len(days))`` of
@@ -196,15 +205,19 @@ class CompoundBehaviorModel:
         self._require_fitted()
         days = list(days)
         telemetry = get_telemetry()
+        scoring = self._engine.scoring
         scores: Dict[str, np.ndarray] = {}
         with telemetry.span(
-            "detector.score", model=self.config.name, days=len(days)
+            "detector.score",
+            model=self.config.name,
+            days=len(days),
+            n_shards=self.config.n_shards,
         ):
             for aspect in self._aspects:
                 with telemetry.span("detector.score.aspect", aspect=aspect.name):
                     view = self._view_for(aspect, days)
                     ae = self._autoencoders[aspect.name]
-                    errors = ae.reconstruction_error(view, batch_size=batch_size)
+                    errors = scoring.score_view(view, ae, batch_size=batch_size)
                     scores[aspect.name] = errors.reshape(view.n_users, view.n_anchors)
                 telemetry.counter("detector.scored_vectors_total").inc(
                     view.n_users * view.n_anchors
@@ -231,14 +244,13 @@ class CompoundBehaviorModel:
             "detector.investigate", model=self.config.name, reduce=reduce
         ):
             scores = self.score(days, batch_size=batch_size)
-            users = self._deviations.users
-            aspect_scores = {}
-            for name, array in scores.items():
-                reduced = array.max(axis=1) if reduce == "max" else array.mean(axis=1)
-                aspect_scores[name] = {
-                    user: float(reduced[i]) for i, user in enumerate(users)
-                }
-            return investigation_list(aspect_scores, n_votes or self.config.critic_n)
+            reduced = {
+                name: (array.max(axis=1) if reduce == "max" else array.mean(axis=1))
+                for name, array in scores.items()
+            }
+            return self._engine.critic.investigate(
+                reduced, self._deviations.users, n_votes or self.config.critic_n
+            )
 
     def valid_anchor_days(self, days: Sequence[date]) -> List[date]:
         """The subset of ``days`` with enough history for a matrix."""
@@ -263,6 +275,18 @@ class CompoundBehaviorModel:
         self._require_representation()
         return self._pipeline
 
+    @property
+    def engine(self) -> DetectionPipeline:
+        """The staged shard-aware execution engine built at fit time."""
+        self._require_representation()
+        return self._engine
+
+    @property
+    def shard_plan(self) -> ShardPlan:
+        """The deterministic user partition driving every stage."""
+        self._require_representation()
+        return self._engine.plan
+
     # ------------------------------------------------------------------
     def _prepare_representation(
         self,
@@ -270,13 +294,19 @@ class CompoundBehaviorModel:
         group_map: Optional[Mapping[str, str]],
         train_days: Sequence[date],
     ) -> None:
-        """Build deviations, the shared value pipeline, and the aspect list.
+        """Build the engine, deviations, value pipeline and aspect list.
 
-        The pipeline combines the weighted/normalized value arrays
-        exactly once; ``score``/``investigate`` and every per-aspect
-        view reuse it instead of recomputing per call.
+        The shard plan partitions the cube's users once; the
+        :class:`~repro.core.pipeline.RepresentationStage` then computes
+        the behavioural representation shard by shard (bit-identical to
+        the monolithic math for any shard count), and the value
+        pipeline combines the weighted/normalized arrays exactly once
+        for ``score``/``investigate`` and every per-aspect view.
         """
         cfg = self.config
+        self._engine = DetectionPipeline.for_users(
+            len(cube.users), cfg.n_shards, n_jobs=cfg.n_jobs
+        )
         self._deviations = self._build_representation(cube, dict(group_map or {}), train_days)
         self._aspects = self._resolve_aspects(cube.feature_set)
         self._pipeline = RepresentationPipeline.from_deviations(
@@ -294,10 +324,11 @@ class CompoundBehaviorModel:
         cfg = self.config
         if not group_map:
             group_map = {u: "all" for u in cube.users}
+        stage = self._engine.representation
         if cfg.representation == "deviation":
             dev_config = DeviationConfig(window=cfg.window, delta=cfg.delta, epsilon=cfg.epsilon)
-            return compute_deviations(cube, group_map, dev_config)
-        return _normalized_representation(cube, group_map, train_days, cfg.delta)
+            return stage.deviation_cube(cube, group_map, dev_config)
+        return stage.normalized_cube(cube, group_map, train_days, cfg.delta)
 
     def _resolve_aspects(self, feature_set: FeatureSet) -> List[AspectSpec]:
         if not self.config.all_in_one:
@@ -330,55 +361,6 @@ class CompoundBehaviorModel:
             raise RuntimeError("model is not fitted; call fit() first")
 
 
-def _normalized_representation(
-    cube: MeasurementCube,
-    group_map: Dict[str, str],
-    train_days: Sequence[date],
-    delta: float,
-) -> DeviationCube:
-    """Min-max normalized occurrences packed into a DeviationCube.
-
-    Used by the 1-Day / Baseline / Base-FF models: each (user, feature,
-    time-frame) series is divided by its maximum over the *training*
-    days (floor 1 to keep zeros meaningful) and clipped to [0, 1].  The
-    normalized values are re-centred to [-delta, +delta] so the matrix
-    builder's final [0, 1] mapping restores them exactly; weights are 1.
-    """
-    train_set = set(train_days)
-    train_idx = [i for i, d in enumerate(cube.days) if d in train_set]
-    if not train_idx:
-        raise ValueError("train_days do not overlap the measurement cube")
-
-    def normalize(values: np.ndarray) -> np.ndarray:
-        maxima = values[..., train_idx].max(axis=-1, keepdims=True)
-        maxima = np.maximum(maxima, 1.0)
-        normalized = np.clip(values / maxima, 0.0, 1.0)
-        return (normalized * 2.0 - 1.0) * delta
-
-    sigma = normalize(cube.values)
-    groups = sorted({group_map[u] for u in cube.users})
-    group_index = {g: i for i, g in enumerate(groups)}
-    group_of_user = [group_index[group_map[u]] for u in cube.users]
-    group_sigma = normalize(group_means(cube.values, group_of_user, len(groups)))
-
-    # window=2 is a placeholder: no history is consumed in this
-    # representation, so every cube day stays addressable.
-    config = DeviationConfig(window=2, delta=delta)
-    return DeviationCube(
-        sigma=sigma,
-        weights=np.ones_like(sigma),
-        users=list(cube.users),
-        feature_set=cube.feature_set,
-        timeframes=cube.timeframes,
-        days=list(cube.days),
-        config=config,
-        groups=groups,
-        group_of_user=group_of_user,
-        group_sigma=group_sigma,
-        group_weights=np.ones_like(group_sigma),
-    )
-
-
 # ---------------------------------------------------------------------------
 # Model zoo
 # ---------------------------------------------------------------------------
@@ -397,6 +379,7 @@ def make_acobe(
     critic_n: int = 3,
     train_stride: int = 1,
     n_jobs: int = 1,
+    n_shards: int = 1,
 ) -> CompoundBehaviorModel:
     """ACOBE as evaluated in Section V (N=3, omega=30)."""
     return _zoo_model(
@@ -407,6 +390,7 @@ def make_acobe(
             critic_n=critic_n,
             train_stride=train_stride,
             n_jobs=n_jobs,
+            n_shards=n_shards,
         ),
         ae_config,
     )
@@ -419,6 +403,7 @@ def make_no_group(
     critic_n: int = 3,
     train_stride: int = 1,
     n_jobs: int = 1,
+    n_shards: int = 1,
 ) -> CompoundBehaviorModel:
     """The No-Group ablation: ACOBE without the group-behaviour block."""
     return _zoo_model(
@@ -430,6 +415,7 @@ def make_no_group(
             critic_n=critic_n,
             train_stride=train_stride,
             n_jobs=n_jobs,
+            n_shards=n_shards,
         ),
         ae_config,
     )
@@ -440,6 +426,7 @@ def make_one_day(
     critic_n: int = 3,
     train_stride: int = 1,
     n_jobs: int = 1,
+    n_shards: int = 1,
 ) -> CompoundBehaviorModel:
     """The 1-Day ablation: normalized single-day occurrences."""
     return _zoo_model(
@@ -451,6 +438,7 @@ def make_one_day(
             critic_n=critic_n,
             train_stride=train_stride,
             n_jobs=n_jobs,
+            n_shards=n_shards,
         ),
         ae_config,
     )
@@ -463,6 +451,7 @@ def make_all_in_one(
     critic_n: int = 1,
     train_stride: int = 1,
     n_jobs: int = 1,
+    n_shards: int = 1,
 ) -> CompoundBehaviorModel:
     """The All-in-1 ablation: one autoencoder over every feature."""
     return _zoo_model(
@@ -474,6 +463,7 @@ def make_all_in_one(
             critic_n=critic_n,
             train_stride=train_stride,
             n_jobs=n_jobs,
+            n_shards=n_shards,
         ),
         ae_config,
     )
@@ -484,6 +474,7 @@ def make_baseline(
     critic_n: int = 3,
     train_stride: int = 1,
     n_jobs: int = 1,
+    n_shards: int = 1,
 ) -> CompoundBehaviorModel:
     """Liu et al.'s Baseline (fit it with the coarse-grained cube).
 
@@ -502,6 +493,7 @@ def make_baseline(
             critic_n=critic_n,
             train_stride=train_stride,
             n_jobs=n_jobs,
+            n_shards=n_shards,
         ),
         ae_config,
     )
@@ -512,6 +504,7 @@ def make_base_ff(
     critic_n: int = 3,
     train_stride: int = 1,
     n_jobs: int = 1,
+    n_shards: int = 1,
 ) -> CompoundBehaviorModel:
     """Base-FF: the Baseline framework on ACOBE's fine-grained features.
 
@@ -528,6 +521,7 @@ def make_base_ff(
             critic_n=critic_n,
             train_stride=train_stride,
             n_jobs=n_jobs,
+            n_shards=n_shards,
         ),
         ae_config,
     )

@@ -40,7 +40,7 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -54,9 +54,13 @@ __all__ = [
     "AspectTask",
     "TrainedAspect",
     "derive_seed",
+    "map_parallel",
     "resolve_n_jobs",
     "train_ensemble",
 ]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
 
 
 def derive_seed(base_seed: Optional[int], index: int) -> Optional[int]:
@@ -194,6 +198,55 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     return multiprocessing.get_context("fork")
 
 
+def map_parallel(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Sequence[_ItemT],
+    n_jobs: Optional[int] = 1,
+    fallback: Optional[Callable[[], object]] = None,
+) -> Tuple[list, str]:
+    """Order-preserving map over a fork process pool, with serial fallback.
+
+    The generic executor behind :func:`train_ensemble` and the sharded
+    detection pipeline (:mod:`repro.core.pipeline`): ``fn`` must be a
+    module-level (picklable) callable, ``items`` its task tuples.
+    Results come back in item order regardless of completion order, so
+    any deterministic ``fn`` yields deterministic output for every
+    ``n_jobs``.
+
+    Args:
+        fn: worker entry point, applied to each item.
+        items: the work list.
+        n_jobs: worker processes (1 = in-process, < 1 = all cores);
+            clamped to ``len(items)``.
+        fallback: optional zero-argument callable run *instead of* the
+            per-item map when pool creation fails (sandboxes without
+            working semaphores); its return value becomes ``results``.
+            Without one, the items are mapped serially in-process.
+
+    Returns:
+        ``(results, mode)`` where mode is ``"serial"``,
+        ``"serial-fallback"`` or ``"parallel"``.
+    """
+    items = list(items)
+    if not items:
+        return [], "serial"
+    workers = resolve_n_jobs(n_jobs, len(items))
+    context = _fork_context()
+    if workers == 1 or context is None:
+        return [fn(item) for item in items], "serial"
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            results = [f.result() for f in futures]
+    except (OSError, PermissionError):
+        # Sandboxes without working semaphores / process spawning: the
+        # serial path is result-identical, so degrade silently.
+        if fallback is not None:
+            return fallback(), "serial-fallback"
+        return [fn(item) for item in items], "serial-fallback"
+    return results, "parallel"
+
+
 def train_ensemble(
     tasks: Sequence[AspectTask],
     n_jobs: Optional[int] = 1,
@@ -229,20 +282,18 @@ def train_ensemble(
     ) as span:
         telemetry.counter("parallel.tasks_total").inc(len(tasks))
         if workers == 1 or context is None:
+            # In-process fast path: keeps ``verbose`` and records straight
+            # into the parent telemetry (no snapshot round-trip).
             span.annotate(mode="serial")
             return train_all_serial()
 
-        try:
-            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                futures = [pool.submit(_train_in_worker, task) for task in tasks]
-                results = [f.result() for f in futures]
-        except (OSError, PermissionError):
-            # Sandboxes without working semaphores / process spawning: the
-            # serial path is result-identical, so degrade silently.
-            span.annotate(mode="serial-fallback")
-            return train_all_serial()
+        results, mode = map_parallel(
+            _train_in_worker, tasks, n_jobs=workers, fallback=train_all_serial
+        )
+        span.annotate(mode=mode)
+        if mode == "serial-fallback":
+            return results  # the fallback already built the name -> aspect dict
 
-        span.annotate(mode="parallel")
         telemetry.gauge("parallel.pool_workers").set(workers)
         trained = {}
         merged = 0

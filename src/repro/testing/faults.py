@@ -181,17 +181,20 @@ def flip_bit(path: Union[str, Path], offset: Optional[int] = None, bit: int = 0)
 
 
 def corrupt_checkpoint_state(directory: Union[str, Path]) -> Path:
-    """Bit-flip a committed checkpoint's ``state.npz`` payload.
+    """Bit-flip a committed checkpoint's state payload.
 
-    The manifest's recorded checksum is left untouched, so the next
+    Works against both layouts: the legacy ``state.npz`` and the
+    shard-aware ``state_shard_*.npz`` / ``state_groups.npz`` files
+    (the first state file in sorted order is flipped).  The manifest's
+    recorded checksum is left untouched, so the next
     :func:`repro.core.checkpoint.load_checkpoint` must fail with a
     checksum mismatch -- this is the canonical corruption-detection
     probe.
     """
-    state_path = Path(directory) / "state.npz"
-    if not state_path.exists():
-        raise FileNotFoundError(f"no checkpoint state at {state_path}")
-    return flip_bit(state_path)
+    state_files = sorted(Path(directory).glob("state*.npz"))
+    if not state_files:
+        raise FileNotFoundError(f"no checkpoint state files in {directory}")
+    return flip_bit(state_files[0])
 
 
 # ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.checkpoint import (
     CHECKPOINT_VERSION,
+    GROUP_STATE_FILE,
     MANIFEST_FILE,
     STATE_FILE,
     CheckpointCorruptionError,
@@ -18,6 +19,7 @@ from repro.core.checkpoint import (
     load_checkpoint,
     resume_streaming,
     save_checkpoint,
+    shard_state_file,
 )
 from repro.core.detector import CompoundBehaviorModel, ModelConfig
 from repro.core.streaming import StreamingDetector
@@ -196,11 +198,12 @@ class TestValidation:
             load_checkpoint(tmp_path / "ckpt")
 
     @pytest.mark.faults
-    def test_partially_written_no_state(self, tmp_path, cube, group_map, fitted):
+    @pytest.mark.parametrize("missing", [shard_state_file(0), GROUP_STATE_FILE])
+    def test_partially_written_no_state(self, tmp_path, cube, group_map, fitted, missing):
         stream = StreamingDetector(fitted, cube.users, group_map)
         feed(stream, cube, 0, 10)
         save_checkpoint(stream, tmp_path / "ckpt")
-        (tmp_path / "ckpt" / STATE_FILE).unlink()
+        (tmp_path / "ckpt" / missing).unlink()
         with pytest.raises(CheckpointCorruptionError, match="partially written"):
             load_checkpoint(tmp_path / "ckpt")
 
@@ -259,6 +262,184 @@ class TestValidation:
         assert config_digest(fitted.config) == config_digest(fitted.config)
         other = ModelConfig(window=6, matrix_days=5, critic_n=2, autoencoder=TINY_AE)
         assert config_digest(other) != config_digest(fitted.config)
+
+    def test_config_digest_ignores_shard_count(self, fitted):
+        # n_shards is an execution-layout knob with bit-identical results,
+        # so it must not orphan checkpoints written at another count (or
+        # before the field existed at all).
+        from dataclasses import replace
+
+        sharded = replace(fitted.config, n_shards=4)
+        assert config_digest(sharded) == config_digest(fitted.config)
+
+
+def write_v1_checkpoint(directory, stream):
+    """Hand-write the legacy single-slab (version 1) checkpoint layout."""
+    import hashlib
+    import io
+
+    directory.mkdir(parents=True, exist_ok=True)
+    state = stream.export_state()
+    arrays = {}
+    for i, slab in enumerate(state.history):
+        arrays[f"history_{i}"] = slab
+    for i, (sigma, weight) in enumerate(state.sigma_buffer):
+        arrays[f"sigma_{i}"] = sigma
+        arrays[f"sigweight_{i}"] = weight
+    for i, (sigma, weight) in enumerate(state.group_sigma_buffer):
+        arrays[f"gsigma_{i}"] = sigma
+        arrays[f"gweight_{i}"] = weight
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    payload = buffer.getvalue()
+    (directory / STATE_FILE).write_bytes(payload)
+    manifest = {
+        "schema": "acobe.stream_checkpoint",
+        "version": 1,
+        "config_digest": config_digest(stream.model.config),
+        "last_day": state.last_day.isoformat() if state.last_day else None,
+        "users": list(stream.users),
+        "groups": list(stream.groups),
+        "group_map": dict(stream.group_map),
+        "on_bad_day": stream.on_bad_day,
+        "counts": {
+            "history": len(state.history),
+            "sigma": len(state.sigma_buffer),
+            "group_sigma": len(state.group_sigma_buffer),
+        },
+        "counters": {
+            "days_observed": state.days_observed,
+            "days_quarantined": state.days_quarantined,
+            "days_imputed": state.days_imputed,
+            "values_imputed": state.values_imputed,
+        },
+        "checksums": {STATE_FILE: hashlib.sha256(payload).hexdigest()},
+    }
+    (directory / MANIFEST_FILE).write_text(json.dumps(manifest))
+    return directory
+
+
+class TestV1Migration:
+    def test_v1_checkpoint_loads_bit_exactly(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 15)
+        write_v1_checkpoint(tmp_path / "v1", stream)
+
+        loaded = load_checkpoint(tmp_path / "v1")
+        original = stream.export_state()
+        assert loaded.last_day == DAYS[14]
+        for a, b in zip(loaded.state.history, original.history):
+            np.testing.assert_array_equal(a, b)
+        for (s1, w1), (s2, w2) in zip(loaded.state.sigma_buffer, original.sigma_buffer):
+            np.testing.assert_array_equal(s1, s2)
+            np.testing.assert_array_equal(w1, w2)
+        for (s1, w1), (s2, w2) in zip(
+            loaded.state.group_sigma_buffer, original.group_sigma_buffer
+        ):
+            np.testing.assert_array_equal(s1, s2)
+            np.testing.assert_array_equal(w1, w2)
+
+    def test_v1_resume_continues_bit_identically(self, tmp_path, cube, group_map, fitted):
+        reference = feed(StreamingDetector(fitted, cube.users, group_map), cube, 0, N_DAYS)
+
+        cut = 15
+        dying = StreamingDetector(fitted, cube.users, group_map)
+        feed(dying, cube, 0, cut)
+        write_v1_checkpoint(tmp_path / "v1", dying)
+
+        resumed = resume_streaming(fitted, tmp_path / "v1")
+        tail = feed(resumed, cube, cut, N_DAYS)
+        expected_tail = {d: r for d, r in reference.items() if d >= DAYS[cut]}
+        assert set(tail) == set(expected_tail)
+        for day, result in tail.items():
+            for aspect in result.scores:
+                assert np.array_equal(result.scores[aspect], expected_tail[day].scores[aspect])
+
+    def test_v1_resave_upgrades_layout(self, tmp_path, cube, group_map, fitted):
+        # Resume a v1 checkpoint, save again: the directory becomes the
+        # v2 sharded layout and the legacy state.npz is cleaned up, so
+        # the fault drills can never corrupt a file nobody reads.
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 15)
+        write_v1_checkpoint(tmp_path / "v1", stream)
+
+        resumed = resume_streaming(fitted, tmp_path / "v1")
+        feed(resumed, cube, 15, 20)
+        save_checkpoint(resumed, tmp_path / "v1")
+
+        manifest = json.loads((tmp_path / "v1" / MANIFEST_FILE).read_text())
+        assert manifest["version"] == CHECKPOINT_VERSION
+        assert not (tmp_path / "v1" / STATE_FILE).exists()
+        assert (tmp_path / "v1" / shard_state_file(0)).exists()
+        loaded = load_checkpoint(tmp_path / "v1")
+        assert loaded.last_day == DAYS[19]
+
+    def test_v1_corruption_still_detected(self, tmp_path, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        write_v1_checkpoint(tmp_path / "v1", stream)
+        corrupt_checkpoint_state(tmp_path / "v1")
+        with pytest.raises(CheckpointCorruptionError, match="checksum mismatch"):
+            load_checkpoint(tmp_path / "v1")
+
+
+class TestShardedLayout:
+    def test_sharded_save_partitions_users(self, tmp_path, cube, group_map):
+        from dataclasses import replace as dc_replace
+
+        model = CompoundBehaviorModel(
+            dc_replace(
+                ModelConfig(window=5, matrix_days=5, critic_n=2, autoencoder=TINY_AE),
+                n_shards=3,
+            )
+        )
+        model.fit(cube, group_map, DAYS[:25])
+        stream = StreamingDetector(model, cube.users, group_map)
+        feed(stream, cube, 0, 20)
+        save_checkpoint(stream, tmp_path / "ckpt")
+
+        manifest = json.loads((tmp_path / "ckpt" / MANIFEST_FILE).read_text())
+        assert manifest["version"] == CHECKPOINT_VERSION
+        assert [s["file"] for s in manifest["shards"]] == [
+            shard_state_file(0), shard_state_file(1), shard_state_file(2),
+        ]
+        starts = [s["start"] for s in manifest["shards"]]
+        stops = [s["stop"] for s in manifest["shards"]]
+        assert starts[0] == 0 and stops[-1] == len(cube.users)
+        assert starts[1:] == stops[:-1]  # contiguous partition
+        for s in manifest["shards"]:
+            assert (tmp_path / "ckpt" / s["file"]).exists()
+        assert (tmp_path / "ckpt" / GROUP_STATE_FILE).exists()
+
+        # A stream at a different shard count restores the same state.
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        original = stream.export_state()
+        for a, b in zip(loaded.state.history, original.history):
+            np.testing.assert_array_equal(a, b)
+        for (s1, w1), (s2, w2) in zip(loaded.state.sigma_buffer, original.sigma_buffer):
+            np.testing.assert_array_equal(s1, s2)
+            np.testing.assert_array_equal(w1, w2)
+
+    def test_resume_across_shard_counts(self, tmp_path, cube, group_map, fitted):
+        # Save at n_shards=1, resume into an n_shards=2 model: the digest
+        # ignores the layout knob and the scores stay bit-identical.
+        from dataclasses import replace as dc_replace
+
+        reference = feed(StreamingDetector(fitted, cube.users, group_map), cube, 0, N_DAYS)
+        cut = 18
+        dying = StreamingDetector(fitted, cube.users, group_map)
+        feed(dying, cube, 0, cut)
+        save_checkpoint(dying, tmp_path / "ckpt")
+
+        sharded_model = CompoundBehaviorModel(dc_replace(fitted.config, n_shards=2))
+        sharded_model.fit(cube, group_map, DAYS[:25])
+        resumed = resume_streaming(sharded_model, tmp_path / "ckpt")
+        tail = feed(resumed, cube, cut, N_DAYS)
+        expected_tail = {d: r for d, r in reference.items() if d >= DAYS[cut]}
+        assert set(tail) == set(expected_tail)
+        for day, result in tail.items():
+            for aspect in result.scores:
+                assert np.array_equal(result.scores[aspect], expected_tail[day].scores[aspect])
 
 
 class TestRetries:

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Import-layering lint for the repro package.
+
+The staged architecture only stays layered if the dependency arrows
+keep pointing one way::
+
+    utils / logs / obs          (foundations: import nothing above)
+      ^ datagen  ^ nn           (nn knows obs, never the domain)
+      ^ features
+      ^ core                    (core.pipeline et al.: never eval/cli)
+      ^ eval
+      ^ cli                     (the outermost shell)
+
+This script walks every module under ``src/repro``, extracts its
+imports from the AST (no code execution), and fails with a non-zero
+exit if any module imports from a package its layer must not know
+about -- e.g. ``repro.core`` importing ``repro.eval`` or ``repro.cli``.
+
+Run it directly (CI does) or through ``tests/tools/test_layering.py``::
+
+    python tools/check_layering.py [--root src]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+#: package -> import prefixes that package must never touch.
+FORBIDDEN: Dict[str, Tuple[str, ...]] = {
+    "repro.utils": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+                    "repro.features", "repro.datagen", "repro.logs", "repro.obs",
+                    "repro.testing"),
+    "repro.obs": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+                  "repro.features", "repro.datagen", "repro.logs", "repro.testing"),
+    "repro.logs": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+                   "repro.features", "repro.datagen", "repro.obs", "repro.testing"),
+    "repro.nn": ("repro.core", "repro.eval", "repro.cli", "repro.features",
+                 "repro.datagen", "repro.logs", "repro.testing"),
+    "repro.datagen": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+                      "repro.features", "repro.testing"),
+    "repro.features": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+                       "repro.testing"),
+    "repro.core": ("repro.eval", "repro.cli", "repro.datagen", "repro.testing"),
+    "repro.testing": ("repro.eval", "repro.cli"),
+    "repro.eval": ("repro.cli", "repro.testing"),
+}
+
+
+def module_name(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the source root."""
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def imports_of(path: Path, module: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, imported_module)`` for every import in the file.
+
+    Relative imports are resolved against the importing module's
+    package so intra-package imports are checked under their absolute
+    names too.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    package_parts = module.split(".")[:-1] if not path.name == "__init__.py" else module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                yield node.lineno, node.module or ""
+            else:
+                base = package_parts[: len(package_parts) - (node.level - 1)]
+                target = ".".join(base + ([node.module] if node.module else []))
+                yield node.lineno, target
+
+
+def check_tree(root: Path) -> List[str]:
+    """Every layering violation under ``root`` as a printable string."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        module = module_name(path, root)
+        rules = [
+            forbidden
+            for package, forbidden in FORBIDDEN.items()
+            if module == package or module.startswith(package + ".")
+        ]
+        if not rules:
+            continue
+        for lineno, imported in imports_of(path, module):
+            for forbidden in rules:
+                for prefix in forbidden:
+                    if imported == prefix or imported.startswith(prefix + "."):
+                        violations.append(
+                            f"{path}:{lineno}: {module} imports {imported} "
+                            f"(forbidden: {prefix} is an outer layer)"
+                        )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent / "src"),
+        help="source root containing the repro package (default: ../src)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not (root / "repro").is_dir():
+        print(f"error: no repro package under {root}", file=sys.stderr)
+        return 2
+    violations = check_tree(root)
+    if violations:
+        print(f"{len(violations)} layering violation(s):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("layering OK: no forbidden imports")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
