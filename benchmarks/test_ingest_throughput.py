@@ -1,0 +1,79 @@
+"""Sustained delivery throughput of the event-time ingest path.
+
+The ingestor sits in front of the detector, so its per-delivery cost
+(fingerprint dedup, watermark bookkeeping, incremental slab counting)
+bounds how fast a backlog can be replayed.  This benchmark pushes a
+simulated multi-week event stream -- shuffled within the lateness
+window, so sealing interleaves with counting like in production --
+through an ``Ingestor`` without a detector, takes the best of
+``REPEATS`` runs, asserts a conservative floor, and records events/sec
+to ``BENCH_ingest_throughput.json``.
+"""
+
+import time
+from datetime import date
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import build_organization
+from repro.datagen.simulator import simulate_cert_dataset
+from repro.ingest import IngestConfig, Ingestor, SlabBuilder, arrival_order, shuffled_arrival
+
+from .conftest import save_result, save_result_json
+
+REPEATS = 3
+LATENESS = 1
+MIN_EVENTS_PER_SEC = 500.0  # conservative: observed throughput is far higher
+
+
+def build_records():
+    org = build_organization([8, 8], seed=11)
+    calendar = SimulationCalendar.with_default_holidays(date(2010, 3, 1), date(2010, 4, 25))
+    dataset = simulate_cert_dataset(org, calendar, seed=11)
+    records = shuffled_arrival(
+        arrival_order(dataset.store), seed=4, max_lateness_days=LATENESS
+    )
+    return org.user_ids(), calendar.days(), records
+
+
+def run_once(users, days, records):
+    config = IngestConfig(allowed_lateness_days=LATENESS, start_day=days[0])
+    ingestor = Ingestor(SlabBuilder(users), None, config)
+    start = time.perf_counter()
+    for record in records:
+        ingestor.push(record.event, record.fingerprint)
+    ingestor.flush(until=days[-1])
+    elapsed = time.perf_counter() - start
+    assert ingestor.events_late == 0
+    assert ingestor.days_sealed == len(days)
+    return elapsed
+
+
+def test_ingest_throughput_floor():
+    users, days, records = build_records()
+    run_once(users, days, records)  # warm caches before timing anything
+
+    best = min(run_once(users, days, records) for _ in range(REPEATS))
+    events_per_sec = len(records) / best
+
+    lines = [
+        f"deliveries          : {len(records)}",
+        f"days sealed         : {len(days)}",
+        f"best wall time      : {best:.3f} s",
+        f"throughput          : {events_per_sec:,.0f} events/s",
+    ]
+    save_result("ingest_throughput", "\n".join(lines))
+    save_result_json(
+        "ingest_throughput",
+        metrics={
+            "events_per_sec": events_per_sec,
+            "wall_seconds": best,
+        },
+        params={
+            "n_events": len(records),
+            "n_users": len(users),
+            "n_days": len(days),
+            "allowed_lateness_days": LATENESS,
+            "repeats": REPEATS,
+        },
+    )
+    assert events_per_sec > MIN_EVENTS_PER_SEC

@@ -10,6 +10,11 @@ Commands:
   service, with durable checkpoints (``--checkpoint-dir``), crash
   recovery (``--resume``) and degradation policies for malformed days
   (``--on-bad-day``); see docs/OPERATIONS.md.
+* ``ingest`` -- consume raw events in arrival order (out-of-order and
+  duplicated deliveries included) through the event-time ingestion
+  subsystem and score days as the watermark seals them; supports the
+  same checkpoint/resume story plus lateness policies and backpressure
+  bounds; see docs/INGEST.md.
 * ``case-study`` -- run the Zeus or WannaCry enterprise case study and
   print the victim's daily investigation rank.
 * ``presets`` -- show the benchmark scale presets.
@@ -176,6 +181,102 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint.retries counters) to PATH; implies telemetry",
     )
 
+    p_ing = sub.add_parser(
+        "ingest",
+        help="event-time ingestion: consume raw events in arrival order and "
+        "score days as they seal (watermark semantics, see docs/INGEST.md)",
+    )
+    p_ing.add_argument(
+        "--scale", default="small", choices=("small", "default", "paper"),
+        help="benchmark preset that defines the organization, calendar and model",
+    )
+    p_ing.add_argument(
+        "--logs", metavar="DIR", default=None,
+        help="read events from CERT-style CSVs in DIR (written by `repro "
+        "simulate`); default: simulate the preset in-process",
+    )
+    p_ing.add_argument(
+        "--model", default="acobe", choices=("acobe", "no-group", "all-in-one"),
+        help="deviation-representation models only (streaming requirement)",
+    )
+    p_ing.add_argument("--seed", type=int, default=None)
+    p_ing.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the initial ensemble training",
+    )
+    p_ing.add_argument(
+        "--shards", type=int, default=None,
+        help="user shards for the staged detection pipeline",
+    )
+    p_ing.add_argument(
+        "--shuffle-seed", type=int, default=None, metavar="SEED",
+        help="deliver events in a deterministic out-of-order permutation whose "
+        "lateness stays within --allowed-lateness (default: canonical "
+        "timestamp order); results are bit-identical either way",
+    )
+    p_ing.add_argument(
+        "--allowed-lateness", type=int, default=1, metavar="DAYS",
+        help="event-time watermark: how many days a delivery may trail the "
+        "newest event day before it counts as late (default: 1)",
+    )
+    p_ing.add_argument(
+        "--late-policy", default="drop", choices=("drop", "quarantine-file", "raise"),
+        help="what to do with deliveries past the watermark (default: drop)",
+    )
+    p_ing.add_argument(
+        "--quarantine-file", metavar="PATH", default=None,
+        help="JSON-lines destination for late events (required with "
+        "--late-policy quarantine-file)",
+    )
+    p_ing.add_argument(
+        "--max-open-days", type=int, default=8, metavar="N",
+        help="backpressure bound on the open-day window (default: 8)",
+    )
+    p_ing.add_argument(
+        "--max-buffered-events", type=int, default=None, metavar="N",
+        help="backpressure bound on buffered unique records (default: unbounded)",
+    )
+    p_ing.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="directory for the saved model and the combined stream+ingest "
+        "checkpoint; required for --resume",
+    )
+    p_ing.add_argument(
+        "--resume", action="store_true",
+        help="continue from the ingest checkpoint in --checkpoint-dir "
+        "(bit-identical to an uninterrupted run)",
+    )
+    p_ing.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="save the combined checkpoint every N sealed days (default: 1); "
+        "a final save always happens on exit",
+    )
+    p_ing.add_argument(
+        "--stop-after-events", type=int, default=None, metavar="K",
+        help="consume at most K deliveries this run, then exit mid-stream "
+        "(a deterministic crash point for resume testing)",
+    )
+    p_ing.add_argument(
+        "--on-bad-day", default=None,
+        choices=("strict", "skip", "impute-group-mean"),
+        help="degradation policy for malformed day slabs",
+    )
+    p_ing.add_argument("--top", type=int, default=10, help="list length to print")
+    p_ing.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write per-day results as JSON to PATH (same day documents as "
+        "`repro stream --out`, so the two are directly comparable)",
+    )
+    p_ing.add_argument(
+        "--trace", action="store_true",
+        help="enable telemetry and print the span tree after the run",
+    )
+    p_ing.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the JSON run report (incl. ingest.events, "
+        "ingest.events_late, ingest.days_sealed counters) to PATH",
+    )
+
     p_case = sub.add_parser("case-study", help="run an enterprise attack case study")
     p_case.add_argument("attack", choices=("zeus", "wannacry"))
     p_case.add_argument("--scale", default="small", choices=("small", "default", "paper"))
@@ -291,6 +392,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.core.checkpoint import (
+        CheckpointMismatchError,
         CheckpointNotFoundError,
         resume_streaming,
         save_checkpoint,
@@ -329,6 +431,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
     checkpoint_dir = Path(args.checkpoint_dir) if args.checkpoint_dir else None
     model_dir = checkpoint_dir / "model" if checkpoint_dir else None
     stream_dir = checkpoint_dir / "stream" if checkpoint_dir else None
+    # Bound to the checkpoint so --resume against a different preset or
+    # seed fails typed instead of re-feeding different simulated data
+    # into the same rolling state.
+    dataset_binding = {"dataset": {"preset": config.name, "seed": config.seed}}
 
     if args.resume:
         try:
@@ -339,10 +445,16 @@ def cmd_stream(args: argparse.Namespace) -> int:
             return 2
         attach_representation(model, cube, benchmark.group_map, benchmark.train_days)
         try:
-            stream = resume_streaming(model, stream_dir, on_bad_day=args.on_bad_day)
+            stream = resume_streaming(
+                model, stream_dir, on_bad_day=args.on_bad_day,
+                expected_manifest=dataset_binding,
+            )
         except CheckpointNotFoundError:
             print(f"error: no checkpoint at {stream_dir}; run once without --resume first",
                   file=sys.stderr)
+            return 2
+        except CheckpointMismatchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
         if stream.last_day is None:
             start_index = 0
@@ -392,9 +504,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
                   f"{result.n_bad_values} bad value(s))")
             emitted.append(result)
         if stream_dir is not None and consumed % args.checkpoint_every == 0:
-            save_checkpoint(stream, stream_dir)
+            save_checkpoint(stream, stream_dir, extra_manifest=dataset_binding)
     if stream_dir is not None and consumed % args.checkpoint_every != 0:
-        save_checkpoint(stream, stream_dir)
+        save_checkpoint(stream, stream_dir, extra_manifest=dataset_binding)
 
     scored = [r for r in emitted if isinstance(r, DailyResult)]
     print(f"observed {consumed} day(s): {len(scored)} scored, "
@@ -466,6 +578,245 @@ def _stream_day_doc(result) -> dict:
     }
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Event-time ingestion in front of the streaming detector."""
+    import json
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.core.checkpoint import CheckpointMismatchError, CheckpointNotFoundError
+    from repro.core.persistence import attach_representation, load_model, save_model
+    from repro.core.streaming import DailyResult, StreamingDetector
+    from repro.features.cert import extract_cert_measurements
+    from repro.ingest import (
+        IngestBackpressureError,
+        IngestConfig,
+        Ingestor,
+        LateEventError,
+        SlabBuilder,
+        arrival_order,
+        resume_ingest,
+        save_ingest_checkpoint,
+        shuffled_arrival,
+    )
+    from repro.obs import (
+        Telemetry,
+        build_run_report,
+        format_span_tree,
+        get_telemetry,
+        set_telemetry,
+        write_report,
+    )
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+
+    telemetry = get_telemetry()
+    if (args.trace or args.metrics_out) and not telemetry.enabled:
+        telemetry = Telemetry(enabled=True, trace_memory=telemetry.trace_memory)
+        set_telemetry(telemetry)
+
+    config = cert_config(args.scale)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    n_shards = resolve_n_shards(args.shards)
+
+    if args.logs:
+        from repro.datagen.calendar import SimulationCalendar
+        from repro.datagen.org import build_organization
+
+        store = read_store(args.logs)
+        organization = build_organization(list(config.department_sizes), seed=config.seed)
+        calendar = SimulationCalendar.with_default_holidays(config.start, config.end)
+        users = organization.user_ids()
+        group_map = organization.group_map()
+        days = calendar.days()
+        cube = extract_cert_measurements(store, users, days)
+        abnormal: set = set()
+    else:
+        benchmark = build_cert_benchmark(config)
+        store = benchmark.dataset.store
+        cube = benchmark.cube
+        users = list(cube.users)
+        group_map = benchmark.group_map
+        days = list(cube.days)
+        abnormal = set(benchmark.abnormal_users)
+    train_days = [d for d in days if d <= config.train_end]
+
+    try:
+        ingest_config = IngestConfig(
+            allowed_lateness_days=args.allowed_lateness,
+            late_policy=args.late_policy,
+            quarantine_path=args.quarantine_file,
+            max_open_days=args.max_open_days,
+            max_buffered_events=args.max_buffered_events,
+            start_day=days[0],
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    checkpoint_dir = Path(args.checkpoint_dir) if args.checkpoint_dir else None
+    model_dir = checkpoint_dir / "model" if checkpoint_dir else None
+    ingest_dir = checkpoint_dir / "ingest" if checkpoint_dir else None
+    dataset_binding = {"dataset": {"preset": config.name, "seed": config.seed}}
+
+    if args.resume:
+        try:
+            model = load_model(model_dir)
+        except FileNotFoundError:
+            print(f"error: no saved model at {model_dir}; run once without --resume first",
+                  file=sys.stderr)
+            return 2
+        attach_representation(model, cube, group_map, train_days)
+        try:
+            ingestor = resume_ingest(
+                model, ingest_dir,
+                on_bad_day=args.on_bad_day,
+                config=ingest_config,
+                expected_manifest=dataset_binding,
+            )
+        except CheckpointNotFoundError:
+            print(f"error: no checkpoint at {ingest_dir}; run once without --resume first",
+                  file=sys.stderr)
+            return 2
+        except CheckpointMismatchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        stream = ingestor.detector
+        skip = ingestor.events_pushed
+        print(f"resumed from {ingest_dir} at seal cursor {ingestor.cursor} "
+              f"({ingestor.days_sealed} days sealed, {skip:,} deliveries consumed so far)")
+    else:
+        factory = _MODEL_FACTORIES[args.model]
+        model = factory(
+            ae_config=config.autoencoder,
+            window=config.window,
+            matrix_days=config.matrix_days,
+            train_stride=config.train_stride,
+            n_jobs=args.jobs,
+            n_shards=n_shards,
+        )
+        print(f"fitting {model.config.name} on {len(users)} users ...")
+        model.fit(cube, group_map, train_days)
+        if model_dir is not None:
+            save_model(model, model_dir)
+            print(f"saved model to {model_dir}")
+        stream = StreamingDetector(
+            model, users, group_map, on_bad_day=args.on_bad_day or "strict",
+        )
+        ingestor = Ingestor(SlabBuilder(users), stream, ingest_config)
+        skip = 0
+
+    records = arrival_order(store)
+    if args.shuffle_seed is not None:
+        records = shuffled_arrival(
+            records, seed=args.shuffle_seed, max_lateness_days=args.allowed_lateness
+        )
+
+    emitted = []
+    consumed = 0
+    interrupted = False
+    last_saved_sealed = ingestor.days_sealed
+
+    def handle(result) -> None:
+        emitted.append(result)
+        if isinstance(result, DailyResult):
+            top = [e.user for e in result.investigation.entries[:3]]
+            print(f"  {result.day}  top: {', '.join(top)}")
+        else:
+            print(f"  {result.day}  QUARANTINED ({result.reason}: "
+                  f"{result.n_bad_values} bad value(s))")
+
+    try:
+        for index, record in enumerate(records):
+            if index < skip:
+                continue
+            if args.stop_after_events is not None and consumed >= args.stop_after_events:
+                interrupted = True
+                print(f"stopping after {consumed:,} deliveries as requested "
+                      f"(seal cursor at {ingestor.cursor}, "
+                      f"{len(ingestor.builder.open_days())} open day(s))")
+                break
+            for result in ingestor.push(record.event, record.fingerprint):
+                handle(result)
+            consumed += 1
+            if (
+                ingest_dir is not None
+                and ingestor.days_sealed - last_saved_sealed >= args.checkpoint_every
+            ):
+                save_ingest_checkpoint(ingestor, ingest_dir, extra_manifest=dataset_binding)
+                last_saved_sealed = ingestor.days_sealed
+        if not interrupted:
+            for result in ingestor.flush(until=days[-1]):
+                handle(result)
+    except (LateEventError, IngestBackpressureError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if ingest_dir is not None:
+            save_ingest_checkpoint(ingestor, ingest_dir, extra_manifest=dataset_binding)
+            print(f"saved checkpoint to {ingest_dir}", file=sys.stderr)
+        return 1
+    if ingest_dir is not None:
+        save_ingest_checkpoint(ingestor, ingest_dir, extra_manifest=dataset_binding)
+
+    scored = [r for r in emitted if isinstance(r, DailyResult)]
+    print(f"consumed {consumed:,} deliveries: {ingestor.days_sealed} day(s) sealed, "
+          f"{len(scored)} scored, {ingestor.events_late} late, "
+          f"{ingestor.events_duplicate} duplicate(s), "
+          f"{stream.days_quarantined} quarantined")
+    if scored:
+        last = scored[-1]
+        rows = []
+        for position, entry in enumerate(last.investigation.entries[: args.top], start=1):
+            marker = "insider" if entry.user in abnormal else ""
+            rows.append((position, entry.user, entry.priority, marker))
+        print(f"investigation list for {last.day}:")
+        print(format_table(["#", "user", "priority", ""], rows))
+
+    if args.out:
+        document = {
+            "schema": "acobe.ingest_results",
+            "version": 1,
+            "scale": config.name,
+            "model": model.config.name,
+            "allowed_lateness_days": ingest_config.allowed_lateness_days,
+            "days": [_stream_day_doc(r) for r in emitted],
+        }
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote per-day results to {out_path}")
+
+    if args.trace:
+        print("\n-- span tree ".ljust(40, "-"))
+        print(format_span_tree(telemetry))
+    if args.metrics_out:
+        report = build_run_report(
+            telemetry,
+            name=f"ingest-{args.model}",
+            meta={
+                "model": model.config.name,
+                "scale": config.name,
+                "seed": config.seed,
+                "resumed": args.resume,
+                "allowed_lateness_days": ingest_config.allowed_lateness_days,
+                "late_policy": ingest_config.late_policy,
+                "events_pushed": ingestor.events_pushed,
+                "events_late": ingestor.events_late,
+                "events_duplicate": ingestor.events_duplicate,
+                "days_sealed": ingestor.days_sealed,
+                "days_scored": len(scored),
+            },
+        )
+        path = write_report(args.metrics_out, report)
+        print(f"wrote run report to {path}")
+    return 0
+
+
 def cmd_case_study(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -510,6 +861,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "detect": cmd_detect,
     "stream": cmd_stream,
+    "ingest": cmd_ingest,
     "case-study": cmd_case_study,
     "presets": cmd_presets,
 }

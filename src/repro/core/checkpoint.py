@@ -316,6 +316,8 @@ def save_checkpoint(
     directory: Union[str, Path],
     retries: int = 2,
     backoff: float = 0.05,
+    extra_files: Optional[Mapping[str, bytes]] = None,
+    extra_manifest: Optional[Mapping[str, Any]] = None,
 ) -> Path:
     """Atomically persist a stream's full rolling state.
 
@@ -328,11 +330,38 @@ def save_checkpoint(
         directory: checkpoint directory (created if missing).
         retries: extra attempts per file on transient ``OSError``.
         backoff: initial retry delay in seconds (doubles per retry).
+        extra_files: sidecar payloads a caller wants committed with the
+            same durability guarantees (e.g. the ingest cursor).  Each
+            filename must be a plain ``state*``-prefixed name; payloads
+            are written atomically *before* the manifest, checksummed in
+            it, and verified by :func:`load_checkpoint`.
+        extra_manifest: additional top-level manifest entries (e.g. a
+            dataset binding); keys must not collide with the core
+            checkpoint fields.
 
     Returns:
         The checkpoint directory.
     """
     directory = Path(directory)
+    extra_files = dict(extra_files or {})
+    for filename in extra_files:
+        if "/" in filename or "\\" in filename or not filename.startswith("state"):
+            raise ValueError(
+                f"extra checkpoint file {filename!r} must be a plain filename "
+                "starting with 'state' (stale-file cleanup tracks that prefix)"
+            )
+        if filename in (STATE_FILE, GROUP_STATE_FILE, MANIFEST_FILE) or filename.startswith(
+            "state_shard_"
+        ):
+            raise ValueError(f"extra checkpoint file {filename!r} collides with a core file")
+    _CORE_MANIFEST_KEYS = {
+        "schema", "version", "config_digest", "last_day", "users", "groups",
+        "group_map", "on_bad_day", "shards", "group_file", "counts",
+        "counters", "checksums",
+    }
+    for key in extra_manifest or {}:
+        if key in _CORE_MANIFEST_KEYS:
+            raise ValueError(f"extra_manifest key {key!r} collides with a core manifest field")
     telemetry = get_telemetry()
     with telemetry.span("checkpoint.save", directory=str(directory)) as span:
         state = stream.export_state()
@@ -369,6 +398,18 @@ def save_checkpoint(
         checksums[GROUP_STATE_FILE] = hashlib.sha256(group_payload).hexdigest()
         total_bytes += len(group_payload)
 
+        for filename in sorted(extra_files):
+            payload = extra_files[filename]
+            path = directory / filename
+            _with_retries(
+                lambda path=path, payload=payload: atomic_write_bytes(path, payload),
+                f"writing {path}",
+                retries,
+                backoff,
+            )
+            checksums[filename] = hashlib.sha256(payload).hexdigest()
+            total_bytes += len(payload)
+
         manifest = {
             "schema": CHECKPOINT_SCHEMA,
             "version": CHECKPOINT_VERSION,
@@ -393,6 +434,8 @@ def save_checkpoint(
             },
             "checksums": checksums,
         }
+        for key, value in (extra_manifest or {}).items():
+            manifest[key] = value
         _with_retries(
             lambda: atomic_write_json(directory / MANIFEST_FILE, manifest),
             f"writing {directory / MANIFEST_FILE}",
@@ -400,11 +443,12 @@ def save_checkpoint(
             backoff,
         )
         # Post-commit cleanup: drop state files the new manifest does not
-        # reference (a legacy v1 state.npz, or shard slabs beyond a now
-        # smaller plan).  The load path ignores them, but leaving them
-        # would let the fault drills corrupt a file nobody reads.
+        # reference (a legacy v1 state.npz, shard slabs beyond a now
+        # smaller plan, or extra sidecars from a previous caller).  The
+        # load path ignores them, but leaving them would let the fault
+        # drills corrupt a file nobody reads.
         expected = set(checksums)
-        for stale in directory.glob("state*.npz"):
+        for stale in directory.glob("state*"):
             if stale.name not in expected:
                 stale.unlink(missing_ok=True)
         telemetry.counter("checkpoint.saves").inc()
@@ -497,14 +541,19 @@ def load_checkpoint(
     else:
         expected_files = [str(s["file"]) for s in manifest.get("shards", [])]
         expected_files.append(str(manifest.get("group_file", GROUP_STATE_FILE)))
-    for filename in expected_files:
+    # Verify every checksummed file, core and sidecar alike: the manifest
+    # is the commit record, so anything it checksums must be present and
+    # intact for the checkpoint to count as valid.
+    checksums = manifest.get("checksums", {})
+    extra_files = [name for name in sorted(checksums) if name not in expected_files]
+    for filename in expected_files + extra_files:
         file_path = directory / filename
         if not file_path.exists():
             raise CheckpointCorruptionError(
                 f"partially written checkpoint at {directory}: manifest present "
                 f"but {filename} is missing"
             )
-        expected = manifest.get("checksums", {}).get(filename)
+        expected = checksums.get(filename)
         actual = _with_retries(
             lambda file_path=file_path: file_sha256(file_path),
             f"hashing {file_path}",
@@ -539,6 +588,8 @@ def resume_streaming(
     on_bad_day: Optional[str] = None,
     retries: int = 2,
     backoff: float = 0.05,
+    checkpoint: Optional[LoadedCheckpoint] = None,
+    expected_manifest: Optional[Mapping[str, Any]] = None,
 ) -> StreamingDetector:
     """Rebuild a :class:`StreamingDetector` from a checkpoint.
 
@@ -555,12 +606,22 @@ def resume_streaming(
         directory: the checkpoint directory.
         on_bad_day: override the degradation policy; defaults to the
             policy recorded in the checkpoint.
+        checkpoint: an already-loaded checkpoint for ``directory`` (so a
+            caller that needs the manifest, e.g. the ingest resume path,
+            does not load and verify twice).
+        expected_manifest: top-level manifest entries that must match the
+            checkpoint if it recorded them -- e.g. the dataset binding
+            the CLI stores alongside the config digest.  A key absent
+            from the checkpoint (legacy save) is tolerated; a present
+            key with a different value raises.
 
     Raises:
         CheckpointMismatchError: the checkpoint belongs to a model with
-            a different configuration.
+            a different configuration, or an ``expected_manifest`` entry
+            conflicts with what the checkpoint recorded.
     """
-    checkpoint = load_checkpoint(directory, retries=retries, backoff=backoff)
+    if checkpoint is None:
+        checkpoint = load_checkpoint(directory, retries=retries, backoff=backoff)
     digest = config_digest(model.config)
     if digest != checkpoint.config_digest:
         raise CheckpointMismatchError(
@@ -569,6 +630,14 @@ def resume_streaming(
             f"model digests to {digest[:12]}... -- resuming would mix "
             "incompatible deviation math"
         )
+    for key, wanted in (expected_manifest or {}).items():
+        recorded = checkpoint.manifest.get(key)
+        if recorded is not None and recorded != wanted:
+            raise CheckpointMismatchError(
+                f"checkpoint at {directory} was written with {key}={recorded!r}, "
+                f"but this run expects {key}={wanted!r} -- resuming would feed "
+                "different data into the same rolling state"
+            )
     policy = on_bad_day or checkpoint.manifest.get("on_bad_day", "strict")
     stream = StreamingDetector(
         model,

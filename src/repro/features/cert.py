@@ -34,6 +34,7 @@ time-frames; see :func:`extract_baseline_measurements`.
 
 from __future__ import annotations
 
+from collections import Counter
 from datetime import date
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -41,7 +42,7 @@ import numpy as np
 
 from repro.features.measurements import MeasurementCube
 from repro.features.spec import AspectSpec, FeatureSet, FeatureSpec
-from repro.logs.schema import DeviceEvent, FileEvent, HttpEvent
+from repro.logs.schema import DeviceEvent, Event, FileEvent, HttpEvent
 from repro.logs.store import LogStore
 from repro.utils.timeutil import TWO_TIMEFRAMES, TimeFrame, frame_index_of, hourly_timeframes
 
@@ -86,10 +87,14 @@ HTTP_ASPECT = AspectSpec(
 #: The three CERT behavioural aspects, in ensemble order.
 CERT_ASPECTS: Tuple[AspectSpec, ...] = (DEVICE_ASPECT, FILE_ASPECT, HTTP_ASPECT)
 
-_UPLOAD_TYPES = ("doc", "exe", "jpg", "pdf", "txt", "zip")
+#: Upload file types with a dedicated ``http-upload-*`` feature.
+UPLOAD_FILETYPES = ("doc", "exe", "jpg", "pdf", "txt", "zip")
+
+# Backwards-compatible alias (pre-ingest name).
+_UPLOAD_TYPES = UPLOAD_FILETYPES
 
 
-def _file_direction_feature(event: FileEvent) -> Optional[str]:
+def file_direction_feature(event: FileEvent) -> Optional[str]:
     """Map a file event to its direction feature name (None if untracked)."""
     if event.activity == "open":
         return f"file-open-from-{event.from_location}"
@@ -100,6 +105,267 @@ def _file_direction_feature(event: FileEvent) -> Optional[str]:
     return None
 
 
+# Backwards-compatible alias (pre-ingest name).
+_file_direction_feature = file_direction_feature
+
+
+class _OpenDay:
+    """Mutable per-day state held until the day seals."""
+
+    __slots__ = ("raw", "pending")
+
+    def __init__(self, n_users: int, n_features: int, n_timeframes: int) -> None:
+        #: raw (order-independent) counts: device-connect increments land
+        #: here immediately.
+        self.raw = np.zeros((n_users, n_features, n_timeframes))
+        #: candidate novelty counts, keyed per kind; resolved against the
+        #: committed seen-sets only at seal time, because whether a key is
+        #: "new" depends on every *earlier* day having committed first.
+        self.pending: Dict[str, Counter] = {
+            "hosts": Counter(),       # (u, host, t) -> n
+            "file_pairs": Counter(),  # (u, direction-feature, file-id, t) -> n
+            "file_ops": Counter(),    # (u, activity, file-id, t) -> n
+            "http_pairs": Counter(),  # (u, upload-filetype, domain, t) -> n
+            "http_ops": Counter(),    # (u, activity, domain, t) -> n
+        }
+
+
+class CertSlabAccumulator:
+    """Incremental, order-independent CERT feature counting with day sealing.
+
+    The single counting path shared by the batch extractor
+    (:func:`extract_cert_measurements`) and the streaming ingestion layer
+    (``repro.ingest.SlabBuilder``): events are :meth:`add`-ed in *any*
+    order, and :meth:`seal` produces the finished
+    ``(users, features, timeframes)`` slab for one day.
+
+    Two classes of features make this work:
+
+    * raw counts (``device-connect``) commute trivially -- they increment
+      the open day's slab immediately;
+    * novelty counts depend on the user's *committed* seen-sets ("never
+      conducted before day d"; intra-day repeats each count as new), so
+      candidate keys accumulate in per-open-day counters and resolve only
+      when the day seals.  Because commits happen strictly in day order
+      and per-day counts are small integers added into float64 cells, the
+      sealed slab is bit-identical to the batch extractor's slice for the
+      same event set, regardless of arrival order.
+
+    Days must seal in ascending order (oldest open day first) -- sealing
+    commits the day's observed keys into the seen-sets, which later days'
+    novelty resolution depends on.  Adding an event to an already-sealed
+    day raises ``ValueError``; callers with late data route it through a
+    lateness policy *before* reaching the accumulator.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[str],
+        timeframes: Sequence[TimeFrame] = TWO_TIMEFRAMES,
+    ) -> None:
+        self.users: List[str] = list(users)
+        self.timeframes: Tuple[TimeFrame, ...] = tuple(timeframes)
+        self.feature_set = FeatureSet(CERT_ASPECTS)
+        self._user_index = {user: u for u, user in enumerate(self.users)}
+        self._f = {name: self.feature_set.index_of(name) for name in self.feature_set.feature_names}
+        self._seen: Dict[str, List[set]] = {
+            "hosts": [set() for _ in self.users],       # host
+            "file_pairs": [set() for _ in self.users],  # (direction-feature, file-id)
+            "file_ops": [set() for _ in self.users],    # (activity, file-id)
+            "http_pairs": [set() for _ in self.users],  # (upload-filetype, domain)
+            "http_ops": [set() for _ in self.users],    # (activity, domain)
+        }
+        self._open: Dict[date, _OpenDay] = {}
+        self._last_sealed: Optional[date] = None
+
+    @property
+    def last_sealed(self) -> Optional[date]:
+        """The most recent (and highest) sealed day, or None."""
+        return self._last_sealed
+
+    def open_days(self) -> List[date]:
+        """Days with buffered state, ascending."""
+        return sorted(self._open)
+
+    def _day_state(self, day: date) -> _OpenDay:
+        if self._last_sealed is not None and day <= self._last_sealed:
+            raise ValueError(
+                f"day {day.isoformat()} is already sealed "
+                f"(cursor at {self._last_sealed.isoformat()})"
+            )
+        state = self._open.get(day)
+        if state is None:
+            state = self._open[day] = _OpenDay(
+                len(self.users), len(self.feature_set), len(self.timeframes)
+            )
+        return state
+
+    def add(self, event: Event) -> bool:
+        """Aggregate one event into its (event-time) day.
+
+        Returns:
+            True when the event contributed to a tracked feature family,
+            False when it was ignored (unknown user, or an event type /
+            activity with no CERT feature).
+
+        Raises:
+            ValueError: the event's day has already been sealed.
+        """
+        u = self._user_index.get(event.user)
+        if u is None:
+            return False
+        if isinstance(event, DeviceEvent):
+            if event.activity != "connect":
+                return False
+            state = self._day_state(event.day)
+            t = frame_index_of(self.timeframes, event.timestamp)
+            state.raw[u, self._f["device-connect"], t] += 1
+            state.pending["hosts"][(u, event.host, t)] += 1
+            return True
+        if isinstance(event, FileEvent):
+            state = self._day_state(event.day)
+            t = frame_index_of(self.timeframes, event.timestamp)
+            direction = file_direction_feature(event)
+            if direction is not None and direction in self._f:
+                state.pending["file_pairs"][(u, direction, event.file_id, t)] += 1
+            state.pending["file_ops"][(u, event.activity, event.file_id, t)] += 1
+            return True
+        if isinstance(event, HttpEvent):
+            state = self._day_state(event.day)
+            t = frame_index_of(self.timeframes, event.timestamp)
+            if event.activity == "upload" and event.filetype in UPLOAD_FILETYPES:
+                state.pending["http_pairs"][(u, event.filetype, event.domain, t)] += 1
+            state.pending["http_ops"][(u, event.activity, event.domain, t)] += 1
+            return True
+        return False
+
+    def seal(self, day: date) -> np.ndarray:
+        """Finish ``day``: resolve novelties, commit seen-sets, free state.
+
+        Returns:
+            The day's ``(users, features, timeframes)`` float64 slab.
+
+        Raises:
+            ValueError: ``day`` is already sealed, or an earlier day is
+                still open (days must seal oldest-first).
+        """
+        if self._last_sealed is not None and day <= self._last_sealed:
+            raise ValueError(
+                f"day {day.isoformat()} is already sealed "
+                f"(cursor at {self._last_sealed.isoformat()})"
+            )
+        earlier = [d for d in self._open if d < day]
+        if earlier:
+            raise ValueError(
+                f"cannot seal {day.isoformat()} while {min(earlier).isoformat()} "
+                "is still open; novelty seen-sets commit strictly in day order"
+            )
+        state = self._open.pop(day, None)
+        if state is None:
+            # An empty calendar day: all-zero slab, nothing to commit.
+            self._last_sealed = day
+            return np.zeros((len(self.users), len(self.feature_set), len(self.timeframes)))
+
+        slab = state.raw
+        seen = self._seen
+        f = self._f
+        for (u, host, t), n in state.pending["hosts"].items():
+            if host not in seen["hosts"][u]:
+                slab[u, f["device-new-host"], t] += n
+        for (u, direction, file_id, t), n in state.pending["file_pairs"].items():
+            if (direction, file_id) not in seen["file_pairs"][u]:
+                slab[u, f[direction], t] += n
+        for (u, activity, file_id, t), n in state.pending["file_ops"].items():
+            if (activity, file_id) not in seen["file_ops"][u]:
+                slab[u, f["file-new-op"], t] += n
+        for (u, filetype, domain, t), n in state.pending["http_pairs"].items():
+            if (filetype, domain) not in seen["http_pairs"][u]:
+                slab[u, f[f"http-upload-{filetype}"], t] += n
+        for (u, activity, domain, t), n in state.pending["http_ops"].items():
+            if (activity, domain) not in seen["http_ops"][u]:
+                slab[u, f["http-new-op"], t] += n
+
+        # Commit the day's observations only now that the day has ended
+        # (intra-day repeats above all counted as new, per the paper).
+        for (u, host, _t) in state.pending["hosts"]:
+            seen["hosts"][u].add(host)
+        for (u, direction, file_id, _t) in state.pending["file_pairs"]:
+            seen["file_pairs"][u].add((direction, file_id))
+        for (u, activity, file_id, _t) in state.pending["file_ops"]:
+            seen["file_ops"][u].add((activity, file_id))
+        for (u, filetype, domain, _t) in state.pending["http_pairs"]:
+            seen["http_pairs"][u].add((filetype, domain))
+        for (u, activity, domain, _t) in state.pending["http_ops"]:
+            seen["http_ops"][u].add((activity, domain))
+
+        self._last_sealed = day
+        return slab
+
+    # -- checkpoint support -------------------------------------------------
+
+    #: seen-set kinds whose entries are (u, key) with a scalar key.
+    _SCALAR_SEEN = ("hosts",)
+
+    def export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Serialize committed seen-sets and open-day buffers.
+
+        Returns:
+            ``(doc, arrays)`` -- a JSON-serializable document plus the
+            open days' raw slabs (one float64 array per open day), ready
+            for an ``npz`` payload.  :meth:`restore_state` round-trips
+            them exactly.
+        """
+        open_days = self.open_days()
+        doc = {
+            "users": list(self.users),
+            "last_sealed": self._last_sealed.isoformat() if self._last_sealed else None,
+            "seen": {
+                kind: sorted(
+                    [u, key] if kind in self._SCALAR_SEEN else [u, *key]
+                    for u, per_user in enumerate(sets)
+                    for key in per_user
+                )
+                for kind, sets in self._seen.items()
+            },
+            "open_days": [d.isoformat() for d in open_days],
+            "pending": {
+                d.isoformat(): {
+                    kind: sorted([*key, n] for key, n in counter.items())
+                    for kind, counter in self._open[d].pending.items()
+                }
+                for d in open_days
+            },
+        }
+        arrays = {f"open_raw_{i}": self._open[d].raw for i, d in enumerate(open_days)}
+        return doc, arrays
+
+    def restore_state(self, doc: dict, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`export_state` (exact)."""
+        if list(doc["users"]) != self.users:
+            raise ValueError("accumulator state was captured for a different user list")
+        last_sealed = doc.get("last_sealed")
+        self._last_sealed = date.fromisoformat(last_sealed) if last_sealed else None
+        for kind, sets in self._seen.items():
+            for per_user in sets:
+                per_user.clear()
+            for entry in doc["seen"][kind]:
+                u = int(entry[0])
+                key = entry[1] if kind in self._SCALAR_SEEN else tuple(entry[1:])
+                sets[u].add(key)
+        self._open = {}
+        for i, day_text in enumerate(doc["open_days"]):
+            day = date.fromisoformat(day_text)
+            state = self._open[day] = _OpenDay(
+                len(self.users), len(self.feature_set), len(self.timeframes)
+            )
+            state.raw[...] = arrays[f"open_raw_{i}"]
+            for kind, rows in doc["pending"][day_text].items():
+                counter = state.pending[kind]
+                for row in rows:
+                    *key, n = row
+                    counter[(int(key[0]), *key[1:-1], int(key[-1]))] = int(n)
+
+
 def extract_cert_measurements(
     store: LogStore,
     users: Sequence[str],
@@ -107,6 +373,9 @@ def extract_cert_measurements(
     timeframes: Sequence[TimeFrame] = TWO_TIMEFRAMES,
 ) -> MeasurementCube:
     """Extract ACOBE's 16 CERT features into a measurement cube.
+
+    Drives the same :class:`CertSlabAccumulator` the streaming ingestion
+    layer uses, one sealed day per cube column.
 
     Args:
         store: the organizational logs.
@@ -117,73 +386,21 @@ def extract_cert_measurements(
     Returns:
         A cube of shape ``(len(users), 16, len(timeframes), len(days))``.
     """
-    feature_set = FeatureSet(CERT_ASPECTS)
     days = sorted(days)
-    cube = np.zeros((len(users), len(feature_set), len(timeframes), len(days)))
+    accumulator = CertSlabAccumulator(users, timeframes)
+    cube = np.zeros((len(users), len(accumulator.feature_set), len(timeframes), len(days)))
 
-    f_idx = {name: feature_set.index_of(name) for name in feature_set.feature_names}
-
-    for u, user in enumerate(users):
-        seen_hosts: Set[str] = set()
-        seen_file_pairs: Set[Tuple[str, str]] = set()  # (feature, file-id)
-        seen_file_ops: Set[Tuple[str, str]] = set()  # (activity, file-id)
-        seen_http_pairs: Set[Tuple[str, str]] = set()  # (feature, domain)
-        seen_http_ops: Set[Tuple[str, str]] = set()  # (activity, domain)
-        for d, day in enumerate(days):
-            day_hosts: Set[str] = set()
-            day_file_pairs: Set[Tuple[str, str]] = set()
-            day_file_ops: Set[Tuple[str, str]] = set()
-            day_http_pairs: Set[Tuple[str, str]] = set()
-            day_http_ops: Set[Tuple[str, str]] = set()
-
-            for event in store.events(user, "device", day):
-                assert isinstance(event, DeviceEvent)
-                if event.activity != "connect":
-                    continue
-                t = frame_index_of(timeframes, event.timestamp)
-                cube[u, f_idx["device-connect"], t, d] += 1
-                if event.host not in seen_hosts:
-                    cube[u, f_idx["device-new-host"], t, d] += 1
-                    day_hosts.add(event.host)
-
-            for event in store.events(user, "file", day):
-                assert isinstance(event, FileEvent)
-                t = frame_index_of(timeframes, event.timestamp)
-                direction = _file_direction_feature(event)
-                if direction is not None and direction in f_idx:
-                    pair = (direction, event.file_id)
-                    if pair not in seen_file_pairs:
-                        cube[u, f_idx[direction], t, d] += 1
-                        day_file_pairs.add(pair)
-                key = (event.activity, event.file_id)
-                if key not in seen_file_ops:
-                    cube[u, f_idx["file-new-op"], t, d] += 1
-                    day_file_ops.add(key)
-
-            for event in store.events(user, "http", day):
-                assert isinstance(event, HttpEvent)
-                t = frame_index_of(timeframes, event.timestamp)
-                if event.activity == "upload" and event.filetype in _UPLOAD_TYPES:
-                    pair = (f"http-upload-{event.filetype}", event.domain)
-                    if pair not in seen_http_pairs:
-                        cube[u, f_idx[f"http-upload-{event.filetype}"], t, d] += 1
-                        day_http_pairs.add(pair)
-                key = (event.activity, event.domain)
-                if key not in seen_http_ops:
-                    cube[u, f_idx["http-new-op"], t, d] += 1
-                    day_http_ops.add(key)
-
-            # Commit the day's novelties only after the day ends.
-            seen_hosts |= day_hosts
-            seen_file_pairs |= day_file_pairs
-            seen_file_ops |= day_file_ops
-            seen_http_pairs |= day_http_pairs
-            seen_http_ops |= day_http_ops
+    for d, day in enumerate(days):
+        for user in users:
+            for type_name in ("device", "file", "http"):
+                for event in store.events(user, type_name, day):
+                    accumulator.add(event)
+        cube[:, :, :, d] = accumulator.seal(day)
 
     return MeasurementCube(
         values=cube,
         users=list(users),
-        feature_set=feature_set,
+        feature_set=accumulator.feature_set,
         timeframes=tuple(timeframes),
         days=list(days),
     )

@@ -1,0 +1,140 @@
+"""Arrival sequences: delivery records, fingerprints, bounded shuffles.
+
+The ingestor consumes *deliveries*, not bare events: each delivery is an
+:class:`ArrivalRecord` pairing an event with a fingerprint identifying
+the source record.  This module builds those sequences:
+
+* :func:`arrival_order` -- the canonical (timestamp-ordered) delivery
+  sequence of a :class:`~repro.logs.store.LogStore`, with fingerprints
+  assigned by canonical position (so any later reordering keeps each
+  event bound to its identity).
+* :func:`shuffled_arrival` -- a deterministic arrival-order permutation
+  whose lateness is *bounded*: with ``max_lateness_days = L``, every
+  event is perturbed by a jitter strictly below ``L`` days, so an
+  ingestor configured with ``allowed_lateness_days >= L`` never sees a
+  late event.  (``L = 0`` shuffles within each day only.)  This is the
+  shape of disorder real collection pipelines produce and the one the
+  bit-identity property is stated over.
+* :func:`inject_duplicates` -- re-delivers a deterministic sample of
+  records immediately after the original, reusing the original's
+  fingerprint: exactly what an at-least-once transport does, and
+  exactly what the dedup layer must collapse.
+* :func:`content_fingerprint` -- fallback fingerprint for callers
+  without a delivery identity: the SHA-256 of the event's canonical row
+  form.  Note this collapses naturally-identical events too; prefer a
+  per-record identity when the source has one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List, Optional, Sequence
+
+from repro.logs.schema import Event, event_to_row, event_type_name
+from repro.logs.store import LogStore
+
+__all__ = [
+    "ArrivalRecord",
+    "arrival_order",
+    "content_fingerprint",
+    "inject_duplicates",
+    "shuffled_arrival",
+]
+
+_SECONDS_PER_DAY = 86_400.0
+
+#: Fixed origin for jitter keys (naive datetimes; avoids depending on the
+#: host timezone the way ``datetime.timestamp()`` does).
+_EPOCH = datetime(2000, 1, 1)
+
+
+@dataclass(frozen=True)
+class ArrivalRecord:
+    """One delivery: an event plus its delivery fingerprint."""
+
+    event: Event
+    fingerprint: str
+
+
+def content_fingerprint(event: Event) -> str:
+    """SHA-256 of the event's canonical row form (type + all fields)."""
+    row = {"type": event_type_name(event)}
+    row.update(event_to_row(event))
+    canonical = json.dumps(row, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def arrival_order(store: LogStore) -> List[ArrivalRecord]:
+    """The canonical delivery sequence of a store.
+
+    Events are ordered by (timestamp, user, type) -- a total enough
+    order for determinism -- and fingerprinted by canonical position, so
+    two naturally-identical events keep distinct identities.
+    """
+    events = sorted(
+        store.iter_events(),
+        key=lambda e: (e.timestamp, e.user, event_type_name(e)),
+    )
+    return [ArrivalRecord(event, f"r{i:09d}") for i, event in enumerate(events)]
+
+
+def shuffled_arrival(
+    records: Sequence[ArrivalRecord],
+    seed: int,
+    max_lateness_days: int = 1,
+) -> List[ArrivalRecord]:
+    """A deterministic permutation with strictly bounded lateness.
+
+    Each record's sort key is its timestamp plus a uniform jitter in
+    ``[0, max_lateness_days)`` days.  An event of day ``d`` therefore
+    sorts strictly before any event of day ``d + max_lateness_days + 1``
+    -- which is precisely the first arrival that moves the watermark
+    past day ``d`` when ``allowed_lateness_days >= max_lateness_days``
+    -- so no event in the permuted sequence is ever late.
+
+    With ``max_lateness_days = 0`` the permutation shuffles arrivals
+    within each event-time day (days still arrive in order).
+    """
+    if max_lateness_days < 0:
+        raise ValueError(f"max_lateness_days must be >= 0, got {max_lateness_days}")
+    rng = random.Random(seed)
+    if max_lateness_days == 0:
+        keyed = [(record.event.day, rng.random(), i) for i, record in enumerate(records)]
+    else:
+        jitter = max_lateness_days * _SECONDS_PER_DAY
+        keyed = [
+            (
+                (record.event.timestamp - _EPOCH).total_seconds() + rng.random() * jitter,
+                0.0,
+                i,
+            )
+            for i, record in enumerate(records)
+        ]
+    return [records[i] for *_key, i in sorted(keyed)]
+
+
+def inject_duplicates(
+    records: Sequence[ArrivalRecord],
+    seed: int,
+    fraction: float = 0.05,
+) -> List[ArrivalRecord]:
+    """Re-deliver a deterministic sample of records.
+
+    Each chosen record is delivered a second time immediately after the
+    original, with the *same* fingerprint -- the at-least-once redelivery
+    the dedup layer exists for.  Re-delivering right away keeps the
+    duplicate inside the open-day window at any lateness setting.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    out: List[ArrivalRecord] = []
+    for record in records:
+        out.append(record)
+        if rng.random() < fraction:
+            out.append(record)
+    return out

@@ -1,0 +1,235 @@
+"""Durable ingest cursor: the ingestion state joins the v2 checkpoint.
+
+A streaming deployment driven by the :class:`~repro.ingest.Ingestor`
+has *two* pieces of rolling state: the detector's per-user/per-group
+buffers (already covered by :mod:`repro.core.checkpoint`) and the
+ingest cursor -- the watermark clock, the seal cursor, the open days'
+partial slabs and pending novelty counters, and the dedup fingerprints.
+Both must commit atomically or a crash between them replays events into
+a detector that already scored them.
+
+:func:`save_ingest_checkpoint` therefore rides the core
+:func:`~repro.core.checkpoint.save_checkpoint`: the ingest state is
+serialized into two sidecar files --
+
+* ``state_ingest.json`` -- cursor, watermark, counters, seen-sets,
+  pending novelty counters, fingerprints;
+* ``state_ingest.npz`` -- the open days' raw slabs;
+
+-- which are written atomically *before* the shared ``manifest.json``,
+checksummed in it, and verified on load.  One manifest commit covers
+detector and ingest state together.
+
+:func:`resume_ingest` is the inverse: one checkpoint load (checksums
+verified once) rebuilds the detector *and* the ingestor around it,
+mid-day partial state included, so a killed run continues bit-identical
+to one that never died.  A driving loop that replays its delivery
+sequence can skip the first ``ingestor.events_pushed`` deliveries -- and
+even without skipping, re-delivered records for still-open days collapse
+against the restored fingerprints.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from datetime import date
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointMismatchError,
+    LoadedCheckpoint,
+    load_checkpoint,
+    resume_streaming,
+    save_checkpoint,
+)
+from repro.core.detector import CompoundBehaviorModel
+from repro.ingest.ingestor import IngestConfig, Ingestor
+from repro.ingest.slab import SlabBuilder
+from repro.utils.timeutil import TWO_TIMEFRAMES
+
+__all__ = [
+    "INGEST_DOC_FILE",
+    "INGEST_MANIFEST_KEY",
+    "INGEST_STATE_FILE",
+    "resume_ingest",
+    "save_ingest_checkpoint",
+]
+
+#: JSON sidecar holding the ingest cursor document.
+INGEST_DOC_FILE = "state_ingest.json"
+#: npz sidecar holding the open days' raw slabs.
+INGEST_STATE_FILE = "state_ingest.npz"
+#: Top-level manifest key describing the ingest sidecars.
+INGEST_MANIFEST_KEY = "ingest"
+
+
+def _config_doc(config: IngestConfig) -> Dict[str, Any]:
+    return {
+        "allowed_lateness_days": config.allowed_lateness_days,
+        "late_policy": config.late_policy,
+        "quarantine_path": str(config.quarantine_path) if config.quarantine_path else None,
+        "max_open_days": config.max_open_days,
+        "max_buffered_events": config.max_buffered_events,
+        "start_day": config.start_day.isoformat() if config.start_day else None,
+    }
+
+
+def save_ingest_checkpoint(
+    ingestor: Ingestor,
+    directory: Union[str, Path],
+    retries: int = 2,
+    backoff: float = 0.05,
+    extra_manifest: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Atomically persist detector state *and* ingest cursor together.
+
+    Args:
+        ingestor: the ingestor to persist; must have a detector attached
+            (the ingest sidecars ride the stream checkpoint's manifest).
+        directory: checkpoint directory (created if missing).
+        retries / backoff: transient-I/O retry knobs, as in
+            :func:`repro.core.checkpoint.save_checkpoint`.
+        extra_manifest: further top-level manifest entries (e.g. the
+            CLI's dataset binding).
+
+    Returns:
+        The checkpoint directory.
+    """
+    if ingestor.detector is None:
+        raise ValueError(
+            "save_ingest_checkpoint needs an ingestor with a detector attached; "
+            "a detector-less ingestor has no stream checkpoint to ride"
+        )
+    doc, arrays = ingestor.export_state()
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    manifest_entry = {
+        "doc_file": INGEST_DOC_FILE,
+        "state_file": INGEST_STATE_FILE,
+        "config": _config_doc(ingestor.config),
+        "counters": {
+            "events_pushed": ingestor.events_pushed,
+            "events_late": ingestor.events_late,
+            "events_duplicate": ingestor.events_duplicate,
+            "days_sealed": ingestor.days_sealed,
+        },
+    }
+    merged: Dict[str, Any] = {INGEST_MANIFEST_KEY: manifest_entry}
+    for key, value in (extra_manifest or {}).items():
+        if key == INGEST_MANIFEST_KEY:
+            raise ValueError(f"extra_manifest key {key!r} is reserved for the ingest entry")
+        merged[key] = value
+    return save_checkpoint(
+        ingestor.detector,
+        directory,
+        retries=retries,
+        backoff=backoff,
+        extra_files={
+            INGEST_DOC_FILE: json.dumps(doc, sort_keys=True).encode("utf-8"),
+            INGEST_STATE_FILE: buffer.getvalue(),
+        },
+        extra_manifest=merged,
+    )
+
+
+def resume_ingest(
+    model: CompoundBehaviorModel,
+    directory: Union[str, Path],
+    on_bad_day: Optional[str] = None,
+    config: Optional[IngestConfig] = None,
+    expected_manifest: Optional[Mapping[str, Any]] = None,
+    timeframes=TWO_TIMEFRAMES,
+    retries: int = 2,
+    backoff: float = 0.05,
+) -> Ingestor:
+    """Rebuild an :class:`Ingestor` (detector included) from a checkpoint.
+
+    Args:
+        model: the fitted model the original stream wrapped.
+        directory: the checkpoint directory.
+        on_bad_day: override the detector's degradation policy.
+        config: override the *operational* ingest knobs (late policy,
+            bounds, quarantine path).  The watermark semantics --
+            ``allowed_lateness_days`` and ``start_day`` -- must match
+            what the checkpoint recorded: changing them mid-stream would
+            re-classify in-flight days, so a difference raises
+            :class:`~repro.core.checkpoint.CheckpointMismatchError`.
+            None resumes with exactly the recorded configuration.
+        expected_manifest: top-level manifest entries that must match if
+            recorded (e.g. the CLI's dataset binding); see
+            :func:`repro.core.checkpoint.resume_streaming`.
+        timeframes: the intra-day split the original builder used.
+
+    Raises:
+        CheckpointMismatchError: the checkpoint has no ingest entry
+            (a plain stream checkpoint), or the watermark semantics /
+            model config / an ``expected_manifest`` entry differ.
+        CheckpointCorruptionError: a sidecar is missing, fails its
+            checksum, or cannot be parsed.
+    """
+    checkpoint: LoadedCheckpoint = load_checkpoint(directory, retries=retries, backoff=backoff)
+    entry = checkpoint.manifest.get(INGEST_MANIFEST_KEY)
+    if entry is None:
+        raise CheckpointMismatchError(
+            f"checkpoint at {directory} has no ingest cursor -- it was written by "
+            "the plain stream path; resume it with resume_streaming instead"
+        )
+    recorded = entry.get("config", {})
+    recorded_config = IngestConfig(
+        allowed_lateness_days=int(recorded.get("allowed_lateness_days", 1)),
+        late_policy=str(recorded.get("late_policy", "drop")),
+        quarantine_path=recorded.get("quarantine_path"),
+        max_open_days=int(recorded.get("max_open_days", 8)),
+        max_buffered_events=recorded.get("max_buffered_events"),
+        start_day=(
+            date.fromisoformat(recorded["start_day"]) if recorded.get("start_day") else None
+        ),
+    )
+    if config is not None:
+        if config.allowed_lateness_days != recorded_config.allowed_lateness_days:
+            raise CheckpointMismatchError(
+                f"checkpoint at {directory} was written with allowed_lateness_days="
+                f"{recorded_config.allowed_lateness_days}, but this run wants "
+                f"{config.allowed_lateness_days} -- changing the watermark mid-stream "
+                "would re-classify in-flight days"
+            )
+        if config.start_day != recorded_config.start_day:
+            raise CheckpointMismatchError(
+                f"checkpoint at {directory} was written with start_day="
+                f"{recorded_config.start_day}, but this run wants {config.start_day}"
+            )
+    effective = config or recorded_config
+
+    stream = resume_streaming(
+        model,
+        directory,
+        on_bad_day=on_bad_day,
+        retries=retries,
+        backoff=backoff,
+        checkpoint=checkpoint,
+        expected_manifest=expected_manifest,
+    )
+
+    directory = Path(directory)
+    doc_path = directory / str(entry.get("doc_file", INGEST_DOC_FILE))
+    state_path = directory / str(entry.get("state_file", INGEST_STATE_FILE))
+    try:
+        doc = json.loads(doc_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptionError(f"unreadable ingest cursor {doc_path}: {exc}") from exc
+    try:
+        with np.load(state_path) as archive:
+            arrays = {name: np.asarray(archive[name], dtype=np.float64) for name in archive.files}
+    except (zipfile.BadZipFile, EOFError, KeyError, ValueError, OSError) as exc:
+        raise CheckpointCorruptionError(f"unreadable ingest state {state_path}: {exc}") from exc
+
+    builder = SlabBuilder(stream.users, timeframes)
+    ingestor = Ingestor(builder, stream, effective)
+    ingestor.restore_state(doc, arrays)
+    return ingestor

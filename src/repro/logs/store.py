@@ -1,10 +1,13 @@
 """In-memory log store with per-user / per-day / per-type indexing.
 
 The simulators append events as they generate them; feature extractors
-then query by ``(user, type)`` or ``(user, type, day)``.  Events are kept
-in insertion order per bucket, and :meth:`LogStore.sort` makes each
-bucket chronological (the simulators generate days in order, so this is
-cheap).
+then query by ``(user, type)`` or ``(user, type, day)``.  Buckets are
+kept chronological lazily: appends that arrive out of timestamp order
+(e.g. :meth:`LogStore.merge` of two simulated stores) mark the store
+dirty, and the readers (:meth:`LogStore.events`,
+:meth:`LogStore.iter_events`) re-sort before returning events.  The
+simulators generate days in order, so the common case never pays for a
+sort.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ class LogStore:
         self._users: Set[str] = set()
         self._days: Set[date] = set()
         self._count = 0
+        self._dirty = False
 
     # ------------------------------------------------------------------
     # mutation
@@ -41,19 +45,26 @@ class LogStore:
     def append(self, event: Event) -> None:
         """Add one event."""
         type_name = event_type_name(event)
-        self._by_user_type[(event.user, type_name)].append(event)
+        bucket = self._by_user_type[(event.user, type_name)]
+        if bucket and event.timestamp < bucket[-1].timestamp:
+            self._dirty = True
+        bucket.append(event)
         self._by_user_type_day[(event.user, type_name, event.day)].append(event)
         self._users.add(event.user)
         self._days.add(event.day)
         self._count += 1
 
     def extend(self, events: Iterable[Event]) -> None:
-        """Add many events."""
+        """Add many events (any timestamp order; readers re-sort lazily)."""
         for event in events:
             self.append(event)
 
     def merge(self, other: "LogStore") -> None:
-        """Append every event of ``other`` into this store."""
+        """Append every event of ``other`` into this store.
+
+        Interleaved timestamps across the two stores are fine: the
+        affected buckets re-sort lazily on the next read.
+        """
         for event in other.iter_events():
             self.append(event)
 
@@ -63,6 +74,11 @@ class LogStore:
             bucket.sort(key=lambda e: e.timestamp)
         for bucket in self._by_user_type_day.values():
             bucket.sort(key=lambda e: e.timestamp)
+        self._dirty = False
+
+    def _ensure_sorted(self) -> None:
+        if self._dirty:
+            self.sort()
 
     # ------------------------------------------------------------------
     # queries
@@ -85,13 +101,20 @@ class LogStore:
         type_name: str,
         day: Optional[date] = None,
     ) -> Sequence[Event]:
-        """Events of one user and log type, optionally restricted to a day."""
+        """Events of one user and log type, optionally restricted to a day.
+
+        Always chronological: out-of-order mutations (``extend`` /
+        ``merge``) are repaired here before anything is returned.
+        """
+        self._ensure_sorted()
         if day is None:
             return self._by_user_type.get((user, type_name), [])
         return self._by_user_type_day.get((user, type_name, day), [])
 
     def iter_events(self) -> Iterator[Event]:
-        """Iterate over every stored event (grouped by user/type buckets)."""
+        """Iterate over every stored event (grouped by user/type buckets,
+        chronological within each bucket)."""
+        self._ensure_sorted()
         for bucket in self._by_user_type.values():
             yield from bucket
 

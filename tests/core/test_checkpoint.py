@@ -517,3 +517,113 @@ class TestRetries:
                 save_checkpoint(stream, tmp_path / "ckpt", retries=1)
         # The old checkpoint is still complete and loadable.
         assert load_checkpoint(tmp_path / "ckpt").last_day == DAYS[9]
+
+
+class TestExtraSidecars:
+    """Generic extra_files / extra_manifest support (used by repro.ingest)."""
+
+    def _stream(self, cube, group_map, fitted):
+        stream = StreamingDetector(fitted, cube.users, group_map)
+        feed(stream, cube, 0, 10)
+        return stream
+
+    def test_extra_files_round_trip_with_checksums(
+        self, tmp_path, cube, group_map, fitted
+    ):
+        stream = self._stream(cube, group_map, fitted)
+        payload = b'{"cursor": "2010-01-05"}'
+        save_checkpoint(
+            stream, tmp_path / "ckpt",
+            extra_files={"state_cursor.json": payload},
+            extra_manifest={"cursor": {"kind": "demo"}},
+        )
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        assert (tmp_path / "ckpt" / "state_cursor.json").read_bytes() == payload
+        assert "state_cursor.json" in loaded.manifest["checksums"]
+        assert loaded.manifest["cursor"] == {"kind": "demo"}
+
+    def test_corrupt_extra_file_fails_load(self, tmp_path, cube, group_map, fitted):
+        stream = self._stream(cube, group_map, fitted)
+        save_checkpoint(
+            stream, tmp_path / "ckpt", extra_files={"state_cursor.json": b"abc"}
+        )
+        (tmp_path / "ckpt" / "state_cursor.json").write_bytes(b"abd")
+        with pytest.raises(CheckpointCorruptionError, match="checksum mismatch"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_missing_extra_file_fails_load(self, tmp_path, cube, group_map, fitted):
+        stream = self._stream(cube, group_map, fitted)
+        save_checkpoint(
+            stream, tmp_path / "ckpt", extra_files={"state_cursor.json": b"abc"}
+        )
+        (tmp_path / "ckpt" / "state_cursor.json").unlink()
+        with pytest.raises(CheckpointCorruptionError):
+            load_checkpoint(tmp_path / "ckpt")
+
+    @pytest.mark.parametrize(
+        "filename",
+        ["cursor.json", "sub/state_x.json", STATE_FILE, GROUP_STATE_FILE,
+         "state_shard_0.npz"],
+    )
+    def test_invalid_extra_filenames_rejected(
+        self, tmp_path, cube, group_map, fitted, filename
+    ):
+        stream = self._stream(cube, group_map, fitted)
+        with pytest.raises(ValueError):
+            save_checkpoint(
+                stream, tmp_path / "ckpt", extra_files={filename: b"x"}
+            )
+        assert not (tmp_path / "ckpt" / MANIFEST_FILE).exists()
+
+    def test_core_manifest_keys_protected(self, tmp_path, cube, group_map, fitted):
+        stream = self._stream(cube, group_map, fitted)
+        with pytest.raises(ValueError, match="collides"):
+            save_checkpoint(
+                stream, tmp_path / "ckpt", extra_manifest={"users": ["evil"]}
+            )
+        assert not (tmp_path / "ckpt" / MANIFEST_FILE).exists()
+
+    def test_resave_without_extras_cleans_stale_sidecars(
+        self, tmp_path, cube, group_map, fitted
+    ):
+        stream = self._stream(cube, group_map, fitted)
+        save_checkpoint(
+            stream, tmp_path / "ckpt", extra_files={"state_cursor.json": b"abc"}
+        )
+        save_checkpoint(stream, tmp_path / "ckpt")
+        assert not (tmp_path / "ckpt" / "state_cursor.json").exists()
+        load_checkpoint(tmp_path / "ckpt")  # still consistent
+
+    def test_expected_manifest_mismatch_blocks_resume(
+        self, tmp_path, cube, group_map, fitted
+    ):
+        stream = self._stream(cube, group_map, fitted)
+        binding = {"dataset": {"preset": "small", "seed": 7}}
+        save_checkpoint(stream, tmp_path / "ckpt", extra_manifest=binding)
+        with pytest.raises(CheckpointMismatchError, match="dataset"):
+            resume_streaming(
+                fitted, tmp_path / "ckpt",
+                expected_manifest={"dataset": {"preset": "small", "seed": 8}},
+            )
+
+    def test_expected_manifest_match_resumes(self, tmp_path, cube, group_map, fitted):
+        stream = self._stream(cube, group_map, fitted)
+        binding = {"dataset": {"preset": "small", "seed": 7}}
+        save_checkpoint(stream, tmp_path / "ckpt", extra_manifest=binding)
+        resumed = resume_streaming(
+            fitted, tmp_path / "ckpt", expected_manifest=binding
+        )
+        assert resumed.days_observed == stream.days_observed
+
+    def test_expected_manifest_tolerates_legacy_checkpoints(
+        self, tmp_path, cube, group_map, fitted
+    ):
+        # A checkpoint saved before the binding existed records nothing;
+        # resuming with an expectation must not fail on the absent key.
+        stream = self._stream(cube, group_map, fitted)
+        save_checkpoint(stream, tmp_path / "ckpt")
+        resumed = resume_streaming(
+            fitted, tmp_path / "ckpt",
+            expected_manifest={"dataset": {"preset": "small", "seed": 7}},
+        )
+        assert resumed.days_observed == stream.days_observed

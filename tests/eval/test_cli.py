@@ -90,3 +90,52 @@ class TestCommands:
     def test_stream_resume_without_model_fails_cleanly(self, tmp_path, capsys):
         assert main(["stream", "--resume", "--checkpoint-dir", str(tmp_path)]) == 2
         assert "no saved model" in capsys.readouterr().err
+
+
+class TestIngestParser:
+    def test_ingest_args(self):
+        args = build_parser().parse_args(
+            [
+                "ingest",
+                "--shuffle-seed", "3",
+                "--allowed-lateness", "2",
+                "--late-policy", "quarantine-file",
+                "--quarantine-file", "/tmp/q.jsonl",
+                "--max-open-days", "12",
+                "--checkpoint-dir", "/tmp/ckpt",
+                "--resume",
+                "--stop-after-events", "5000",
+            ]
+        )
+        assert args.command == "ingest"
+        assert args.shuffle_seed == 3
+        assert args.allowed_lateness == 2
+        assert args.late_policy == "quarantine-file"
+        assert args.quarantine_file == "/tmp/q.jsonl"
+        assert args.max_open_days == 12
+        assert args.resume is True
+        assert args.stop_after_events == 5000
+
+    def test_ingest_defaults(self):
+        args = build_parser().parse_args(["ingest"])
+        assert args.shuffle_seed is None  # canonical arrival order
+        assert args.allowed_lateness == 1
+        assert args.late_policy == "drop"
+        assert args.checkpoint_every == 1
+        assert args.resume is False
+
+    def test_ingest_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--late-policy", "vanish"])
+
+    def test_ingest_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["ingest", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_ingest_quarantine_policy_requires_path(self, capsys):
+        assert main(["ingest", "--late-policy", "quarantine-file"]) == 2
+        assert "quarantine" in capsys.readouterr().err
+
+    def test_ingest_resume_without_model_fails_cleanly(self, tmp_path, capsys):
+        assert main(["ingest", "--resume", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "no saved model" in capsys.readouterr().err

@@ -1,0 +1,94 @@
+"""The golden ingest scenario: sealed-slab digests for a fixed event feed.
+
+This module is the single source of truth for the fixture committed at
+``tests/golden/ingest_small.json``.  The integration test
+(``tests/integration/test_golden_ingest.py``) re-simulates the tiny
+CERT dataset, replays it through an :class:`~repro.ingest.Ingestor` in
+both canonical and shuffled arrival order, and asserts the SHA-256 of
+every sealed day's slab matches the committed digest.  Because the
+batch extractor runs on the same accumulator, this pins the *counting*
+semantics across PRs: any unintentional change to a feature definition,
+the novelty commit point, or the watermark sealing order flips a digest.
+
+Regenerate the fixture (only after an *intentional* counting change)::
+
+    PYTHONPATH=src python -m tests.golden.ingest_scenario --write
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from datetime import date
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.datagen.calendar import SimulationCalendar
+from repro.datagen.org import build_organization
+from repro.datagen.simulator import simulate_cert_dataset
+from repro.ingest import IngestConfig, Ingestor, SlabBuilder, arrival_order, shuffled_arrival
+
+GOLDEN_PATH = Path(__file__).with_name("ingest_small.json")
+GOLDEN_SCHEMA = "acobe.golden_ingest"
+
+LATENESS = 1
+SHUFFLE_SEED = 9
+
+
+def build_feed():
+    """The tiny dataset the unit-test fixtures use, as an arrival feed."""
+    org = build_organization([6, 6], seed=3)
+    calendar = SimulationCalendar.with_default_holidays(date(2010, 3, 1), date(2010, 4, 18))
+    dataset = simulate_cert_dataset(org, calendar, seed=5)
+    return org.user_ids(), calendar.days(), arrival_order(dataset.store)
+
+
+def slab_digests(users: List[str], days: List[date], records) -> Dict[str, str]:
+    config = IngestConfig(allowed_lateness_days=LATENESS, start_day=days[0])
+    ingestor = Ingestor(SlabBuilder(users), None, config)
+    digests: Dict[str, str] = {}
+    for record in records:
+        for sealed in ingestor.push(record.event, record.fingerprint):
+            digests[sealed.day.isoformat()] = hashlib.sha256(
+                np.ascontiguousarray(sealed.slab).tobytes()
+            ).hexdigest()
+    for sealed in ingestor.flush(until=days[-1]):
+        digests[sealed.day.isoformat()] = hashlib.sha256(
+            np.ascontiguousarray(sealed.slab).tobytes()
+        ).hexdigest()
+    assert ingestor.events_late == 0
+    return digests
+
+
+def build_document() -> dict:
+    users, days, records = build_feed()
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "version": 1,
+        "n_users": len(users),
+        "n_days": len(days),
+        "n_records": len(records),
+        "allowed_lateness_days": LATENESS,
+        "shuffle_seed": SHUFFLE_SEED,
+        "slab_sha256": slab_digests(users, days, records),
+    }
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true", help="rewrite the fixture")
+    args = parser.parse_args()
+    document = build_document()
+    if args.write:
+        GOLDEN_PATH.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(json.dumps(document, indent=2))
+
+
+if __name__ == "__main__":
+    main()

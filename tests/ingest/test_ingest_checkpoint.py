@@ -1,0 +1,215 @@
+"""Ingest checkpoint: mid-day kill-and-resume bit-identity, fault drills."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointMismatchError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.detector import CompoundBehaviorModel, ModelConfig
+from repro.core.streaming import DailyResult, StreamingDetector
+from repro.features.cert import extract_cert_measurements
+from repro.ingest import (
+    INGEST_STATE_FILE,
+    IngestConfig,
+    Ingestor,
+    SlabBuilder,
+    arrival_order,
+    resume_ingest,
+    save_ingest_checkpoint,
+    shuffled_arrival,
+)
+from repro.nn.autoencoder import AutoencoderConfig
+from repro.testing.faults import flip_bit, transient_io_errors
+
+TINY_AE = AutoencoderConfig(
+    encoder_units=(8, 4),
+    epochs=2,
+    batch_size=16,
+    optimizer="adam",
+    early_stopping_patience=None,
+    validation_split=0.0,
+    seed=1,
+)
+
+LATENESS = 1
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_dataset, tiny_org, tiny_calendar):
+    users = tiny_org.user_ids()
+    days = tiny_calendar.days()
+    cube = extract_cert_measurements(tiny_dataset.store, users, days)
+    model = CompoundBehaviorModel(
+        ModelConfig(window=5, matrix_days=5, critic_n=2, autoencoder=TINY_AE)
+    )
+    group_map = tiny_org.group_map()
+    model.fit(cube, group_map, days[:35])
+    records = shuffled_arrival(arrival_order(tiny_dataset.store), seed=9,
+                               max_lateness_days=LATENESS)
+    return {
+        "users": users,
+        "days": days,
+        "model": model,
+        "group_map": group_map,
+        "records": records,
+    }
+
+
+def fresh_ingestor(setup):
+    stream = StreamingDetector(setup["model"], setup["users"], setup["group_map"])
+    config = IngestConfig(allowed_lateness_days=LATENESS, start_day=setup["days"][0])
+    return Ingestor(SlabBuilder(setup["users"]), stream, config)
+
+
+def run_all(setup, ingestor, skip=0):
+    results = []
+    for index, record in enumerate(setup["records"]):
+        if index < skip:
+            continue
+        results.extend(ingestor.push(record.event, record.fingerprint))
+    results.extend(ingestor.flush(until=setup["days"][-1]))
+    return results
+
+
+def assert_results_equal(got, expected):
+    assert [r.day for r in got] == [r.day for r in expected]
+    for a, b in zip(got, expected):
+        assert isinstance(a, DailyResult) and isinstance(b, DailyResult)
+        assert a.scores.keys() == b.scores.keys()
+        for aspect in a.scores:
+            np.testing.assert_array_equal(a.scores[aspect], b.scores[aspect])
+        assert [(e.user, e.priority) for e in a.investigation.entries] == [
+            (e.user, e.priority) for e in b.investigation.entries
+        ]
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(setup):
+    return run_all(setup, fresh_ingestor(setup))
+
+
+class TestKillAndResume:
+    def test_mid_day_kill_resume_bit_identical(self, setup, uninterrupted, tmp_path):
+        cut = int(len(setup["records"]) * 0.6)
+        ingestor = fresh_ingestor(setup)
+        results = []
+        for record in setup["records"][:cut]:
+            results.extend(ingestor.push(record.event, record.fingerprint))
+        # The cut must land mid-day for the test to mean anything: the
+        # checkpoint has to carry partial slabs and pending novelties.
+        assert ingestor.builder.open_days(), "cut landed on a day boundary"
+        save_ingest_checkpoint(ingestor, tmp_path / "ckpt")
+
+        resumed = resume_ingest(setup["model"], tmp_path / "ckpt")
+        assert resumed.events_pushed == cut
+        assert resumed.cursor == ingestor.cursor
+        results.extend(run_all(setup, resumed, skip=resumed.events_pushed))
+        assert_results_equal(results, uninterrupted)
+
+    def test_redelivery_after_resume_is_idempotent(self, setup, uninterrupted, tmp_path):
+        # An at-least-once replayer may re-send records the killed run
+        # already consumed; restored fingerprints absorb re-deliveries
+        # of still-open days, late-policy drop absorbs the sealed ones.
+        cut = int(len(setup["records"]) * 0.6)
+        ingestor = fresh_ingestor(setup)
+        results = []
+        for record in setup["records"][:cut]:
+            results.extend(ingestor.push(record.event, record.fingerprint))
+        save_ingest_checkpoint(ingestor, tmp_path / "ckpt")
+
+        resumed = resume_ingest(setup["model"], tmp_path / "ckpt")
+        overlap = 50  # replay the last records before the cut again
+        results.extend(run_all(setup, resumed, skip=cut - overlap))
+        assert_results_equal(results, uninterrupted)
+        assert resumed.events_duplicate + resumed.events_late >= overlap
+
+    def test_counters_survive_resume(self, setup, tmp_path):
+        cut = 500
+        ingestor = fresh_ingestor(setup)
+        for record in setup["records"][:cut]:
+            ingestor.push(record.event, record.fingerprint)
+        save_ingest_checkpoint(ingestor, tmp_path / "ckpt")
+        resumed = resume_ingest(setup["model"], tmp_path / "ckpt")
+        assert resumed.events_pushed == ingestor.events_pushed
+        assert resumed.days_sealed == ingestor.days_sealed
+        assert resumed.detector.days_observed == ingestor.detector.days_observed
+
+
+class TestMismatches:
+    def test_plain_stream_checkpoint_rejected(self, setup, tmp_path):
+        stream = StreamingDetector(setup["model"], setup["users"], setup["group_map"])
+        save_checkpoint(stream, tmp_path / "ckpt")
+        with pytest.raises(CheckpointMismatchError, match="no ingest cursor"):
+            resume_ingest(setup["model"], tmp_path / "ckpt")
+
+    def test_changed_lateness_rejected(self, setup, tmp_path):
+        ingestor = fresh_ingestor(setup)
+        ingestor.push(setup["records"][0].event, setup["records"][0].fingerprint)
+        save_ingest_checkpoint(ingestor, tmp_path / "ckpt")
+        with pytest.raises(CheckpointMismatchError, match="allowed_lateness_days"):
+            resume_ingest(
+                setup["model"], tmp_path / "ckpt",
+                config=replace(ingestor.config, allowed_lateness_days=LATENESS + 1),
+            )
+
+    def test_operational_knobs_may_change(self, setup, tmp_path):
+        ingestor = fresh_ingestor(setup)
+        ingestor.push(setup["records"][0].event, setup["records"][0].fingerprint)
+        save_ingest_checkpoint(ingestor, tmp_path / "ckpt")
+        resumed = resume_ingest(
+            setup["model"], tmp_path / "ckpt",
+            config=replace(ingestor.config, max_open_days=30),
+        )
+        assert resumed.config.max_open_days == 30
+
+    def test_dataset_binding_mismatch_rejected(self, setup, tmp_path):
+        ingestor = fresh_ingestor(setup)
+        ingestor.push(setup["records"][0].event, setup["records"][0].fingerprint)
+        save_ingest_checkpoint(
+            ingestor, tmp_path / "ckpt",
+            extra_manifest={"dataset": {"preset": "small", "seed": 7}},
+        )
+        with pytest.raises(CheckpointMismatchError, match="dataset"):
+            resume_ingest(
+                setup["model"], tmp_path / "ckpt",
+                expected_manifest={"dataset": {"preset": "small", "seed": 8}},
+            )
+
+    def test_detector_config_mismatch_rejected(self, setup, tmp_path):
+        ingestor = fresh_ingestor(setup)
+        save_ingest_checkpoint(ingestor, tmp_path / "ckpt")
+        other = CompoundBehaviorModel(
+            ModelConfig(window=7, matrix_days=5, critic_n=2, autoencoder=TINY_AE)
+        )
+        with pytest.raises(CheckpointMismatchError, match="digest"):
+            resume_ingest(other, tmp_path / "ckpt")
+
+
+@pytest.mark.faults
+class TestFaultDrills:
+    def test_transient_io_errors_retried(self, setup, tmp_path):
+        ingestor = fresh_ingestor(setup)
+        for record in setup["records"][:200]:
+            ingestor.push(record.event, record.fingerprint)
+        with transient_io_errors(2, path_substring="state_ingest") as stats:
+            save_ingest_checkpoint(ingestor, tmp_path / "ckpt", retries=3)
+        assert stats["injected"] == 2
+        resumed = resume_ingest(setup["model"], tmp_path / "ckpt")
+        assert resumed.events_pushed == 200
+
+    def test_corrupt_ingest_sidecar_detected(self, setup, tmp_path):
+        ingestor = fresh_ingestor(setup)
+        for record in setup["records"][:200]:
+            ingestor.push(record.event, record.fingerprint)
+        save_ingest_checkpoint(ingestor, tmp_path / "ckpt")
+        flip_bit(tmp_path / "ckpt" / INGEST_STATE_FILE)
+        with pytest.raises(CheckpointCorruptionError, match="checksum mismatch"):
+            load_checkpoint(tmp_path / "ckpt")
+        with pytest.raises(CheckpointCorruptionError):
+            resume_ingest(setup["model"], tmp_path / "ckpt")

@@ -1,0 +1,47 @@
+"""Golden-fixture test: ingest counting is pinned across PRs.
+
+Rebuilds the tiny CERT feed from scratch and checks that the sealed
+per-day slabs -- in canonical arrival order AND in a shuffled arrival
+order within the watermark -- digest to exactly what the committed
+fixture records.  See ``tests/golden/ingest_scenario.py`` to
+regenerate after an intentional counting change.
+"""
+
+import json
+
+import pytest
+
+from repro.ingest import shuffled_arrival
+
+from ..golden.ingest_scenario import (
+    GOLDEN_PATH,
+    GOLDEN_SCHEMA,
+    LATENESS,
+    SHUFFLE_SEED,
+    build_feed,
+    slab_digests,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    document = json.loads(GOLDEN_PATH.read_text())
+    assert document["schema"] == GOLDEN_SCHEMA
+    return document
+
+
+@pytest.fixture(scope="module")
+def feed():
+    return build_feed()
+
+
+def test_canonical_arrival_matches_golden(golden, feed):
+    users, days, records = feed
+    assert len(records) == golden["n_records"]
+    assert slab_digests(users, days, records) == golden["slab_sha256"]
+
+
+def test_shuffled_arrival_matches_golden(golden, feed):
+    users, days, records = feed
+    shuffled = shuffled_arrival(records, seed=SHUFFLE_SEED, max_lateness_days=LATENESS)
+    assert slab_digests(users, days, shuffled) == golden["slab_sha256"]

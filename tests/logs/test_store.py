@@ -86,3 +86,50 @@ def test_empty_store():
     assert s.users() == []
     assert s.days() == []
     assert s.events("nobody", "logon") == []
+
+
+def test_out_of_order_reads_are_lazily_sorted():
+    # No explicit sort(): the first read must see chronological order.
+    s = LogStore()
+    s.append(LogonEvent(ts(4, 15), "u", "logon", "PC"))
+    s.append(LogonEvent(ts(4, 8), "u", "logon", "PC"))
+    assert [e.timestamp.hour for e in s.events("u", "logon")] == [8, 15]
+    assert [e.timestamp.hour for e in s.iter_events()] == [8, 15]
+
+
+def test_in_order_appends_never_mark_dirty():
+    s = LogStore()
+    s.append(LogonEvent(ts(4, 8), "u", "logon", "PC"))
+    s.append(LogonEvent(ts(4, 15), "u", "logon", "PC"))
+    s.append(LogonEvent(ts(5, 9), "u", "logon", "PC"))
+    assert not s._dirty
+
+
+def test_merge_then_extract_is_chronological():
+    # Regression: merging stores with interleaved timestamps (e.g. two
+    # collectors feeding the same log type) used to require a manual
+    # sort() before feature extraction; readers now re-sort lazily.
+    a, b = LogStore(), LogStore()
+    a.extend(
+        [
+            LogonEvent(ts(4, 8), "u", "logon", "PC-A"),
+            LogonEvent(ts(4, 15), "u", "logon", "PC-A"),
+            HttpEvent(ts(5, 9), "u", "visit", "example.com"),
+        ]
+    )
+    b.extend(
+        [
+            LogonEvent(ts(4, 10), "u", "logon", "PC-B"),
+            HttpEvent(ts(5, 7), "u", "visit", "example.com"),
+        ]
+    )
+    a.merge(b)
+    assert a._dirty
+    # Every bucket the extractors read from is chronological, without a
+    # manual sort() in between.
+    for type_name in a.type_names():
+        stamps = [e.timestamp for e in a.events("u", type_name)]
+        assert stamps == sorted(stamps)
+        for day in a.days():
+            day_stamps = [e.timestamp for e in a.events("u", type_name, day)]
+            assert day_stamps == sorted(day_stamps)

@@ -8,6 +8,7 @@ keep pointing one way::
       ^ datagen  ^ nn           (nn knows obs, never the domain)
       ^ features
       ^ core                    (core.pipeline et al.: never eval/cli)
+      ^ ingest                  (event-time ingestion over features+core)
       ^ eval
       ^ cli                     (the outermost shell)
 
@@ -31,21 +32,24 @@ from typing import Dict, Iterator, List, Tuple
 
 #: package -> import prefixes that package must never touch.
 FORBIDDEN: Dict[str, Tuple[str, ...]] = {
-    "repro.utils": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+    "repro.utils": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                     "repro.features", "repro.datagen", "repro.logs", "repro.obs",
                     "repro.testing"),
-    "repro.obs": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+    "repro.obs": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                   "repro.features", "repro.datagen", "repro.logs", "repro.testing"),
-    "repro.logs": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+    "repro.logs": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                    "repro.features", "repro.datagen", "repro.obs", "repro.testing"),
-    "repro.nn": ("repro.core", "repro.eval", "repro.cli", "repro.features",
-                 "repro.datagen", "repro.logs", "repro.testing"),
-    "repro.datagen": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+    "repro.nn": ("repro.core", "repro.ingest", "repro.eval", "repro.cli",
+                 "repro.features", "repro.datagen", "repro.logs", "repro.testing"),
+    "repro.datagen": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                       "repro.features", "repro.testing"),
-    "repro.features": ("repro.core", "repro.nn", "repro.eval", "repro.cli",
+    "repro.features": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                        "repro.testing"),
-    "repro.core": ("repro.eval", "repro.cli", "repro.datagen", "repro.testing"),
-    "repro.testing": ("repro.eval", "repro.cli"),
+    "repro.core": ("repro.ingest", "repro.eval", "repro.cli", "repro.datagen",
+                   "repro.testing"),
+    "repro.ingest": ("repro.eval", "repro.cli", "repro.datagen", "repro.nn",
+                     "repro.testing"),
+    "repro.testing": ("repro.ingest", "repro.eval", "repro.cli"),
     "repro.eval": ("repro.cli", "repro.testing"),
 }
 
