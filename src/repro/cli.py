@@ -15,16 +15,25 @@ Commands:
   subsystem and score days as the watermark seals them; supports the
   same checkpoint/resume story plus lateness policies and backpressure
   bounds; see docs/INGEST.md.
+* ``report diff`` -- compare two JSON report envelopes (or directories
+  of ``BENCH_*.json``) with tolerance bands; exits non-zero on
+  regression (the CI gate behind ``tools/check_bench_regression.py``).
 * ``case-study`` -- run the Zeus or WannaCry enterprise case study and
   print the victim's daily investigation rank.
 * ``presets`` -- show the benchmark scale presets.
 
-``detect`` additionally supports the observability layer
-(:mod:`repro.obs`): ``--trace`` prints the per-stage span tree after
-the run, ``--metrics-out PATH`` writes the schema-versioned JSON run
-report (span timings, merged metrics, per-aspect training curves).
-Setting ``ACOBE_TELEMETRY=1`` (or ``mem``) in the environment enables
-telemetry for every command without flags.
+The observability layer (:mod:`repro.obs`) rides along everywhere:
+``--trace`` prints the per-stage span tree after the run,
+``--metrics-out PATH`` writes the schema-versioned JSON run report
+(span timings, merged metrics, per-aspect training curves, alerts),
+``--log PATH`` appends structured JSON-lines events with run/trace/span
+ids (worker processes included).  ``stream`` and ``ingest`` add
+``--metrics-export DIR --export-every N`` (Prometheus + JSONL metric
+exports with checkpoint-durable counters) and ``--drift-monitor``
+(rolling PSI/KS score-drift and ingest data-quality alerts).  Setting
+``ACOBE_TELEMETRY=1`` (or ``mem``) in the environment enables telemetry
+for every command without flags.  None of it perturbs numerics:
+telemetry-off and telemetry-on runs emit bit-identical scores.
 
 The CLI is a thin shell over the public API; every command maps onto
 calls documented in README.md.
@@ -66,6 +75,32 @@ _MODEL_FACTORIES = {
     "baseline": make_baseline,
     "base-ff": make_base_ff,
 }
+
+
+def _add_monitoring_arguments(parser: argparse.ArgumentParser, unit: str) -> None:
+    """The monitoring-plane flags shared by ``stream`` and ``ingest``."""
+    parser.add_argument(
+        "--metrics-export", metavar="DIR", default=None,
+        help="export metrics.prom (Prometheus text format, atomically "
+        "replaced) and metrics.jsonl (one snapshot per flush) into DIR; "
+        "implies telemetry",
+    )
+    parser.add_argument(
+        "--export-every", type=int, default=1, metavar="N",
+        help=f"flush the metrics export every N {unit} (default: 1); "
+        "a final flush always happens on exit",
+    )
+    parser.add_argument(
+        "--log", metavar="PATH", default=None,
+        help="append structured JSON-lines events (with run/trace/span ids) "
+        "to PATH; implies telemetry",
+    )
+    parser.add_argument(
+        "--drift-monitor", action="store_true",
+        help="watch the per-day score distribution (rolling PSI/KS) and "
+        "ingest data quality; alerts surface in the summary and the "
+        "--metrics-out run report without touching any score",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH", default=None,
         help="write the JSON run report (span timings, metrics, per-aspect "
         "training curves) to PATH; implies telemetry",
+    )
+    p_det.add_argument(
+        "--log", metavar="PATH", default=None,
+        help="append structured JSON-lines events (with run/trace/span ids, "
+        "worker processes included) to PATH; implies telemetry",
     )
 
     p_str = sub.add_parser(
@@ -180,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON run report (incl. stream.days_quarantined and "
         "checkpoint.retries counters) to PATH; implies telemetry",
     )
+    _add_monitoring_arguments(p_str, unit="observed days")
 
     p_ing = sub.add_parser(
         "ingest",
@@ -276,6 +317,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON run report (incl. ingest.events, "
         "ingest.events_late, ingest.days_sealed counters) to PATH",
     )
+    _add_monitoring_arguments(p_ing, unit="consumed deliveries")
+
+    p_rep = sub.add_parser(
+        "report",
+        help="work with JSON report envelopes (acobe.run_report / acobe.bench)",
+    )
+    rep_sub = p_rep.add_subparsers(dest="report_command", required=True)
+    p_diff = rep_sub.add_parser(
+        "diff",
+        help="compare two report envelopes (or BENCH_*.json directories) "
+        "with tolerance bands; exits 1 on regression",
+    )
+    p_diff.add_argument("baseline", help="baseline report file or directory")
+    p_diff.add_argument("current", help="current report file or directory")
+    p_diff.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="FRAC",
+        help="fractional no-movement band around the baseline (default: 0.5, "
+        "i.e. a lower-is-better metric regresses past 1.5x baseline)",
+    )
+    p_diff.add_argument(
+        "--pattern", default="BENCH_*.json", metavar="GLOB",
+        help="filename glob matched in directory mode (default: BENCH_*.json)",
+    )
+    p_diff.add_argument(
+        "--verbose", action="store_true",
+        help="print every compared metric, not just movements",
+    )
 
     p_case = sub.add_parser("case-study", help="run an enterprise attack case study")
     p_case.add_argument("attack", choices=("zeus", "wannacry"))
@@ -329,9 +397,10 @@ def cmd_detect(args: argparse.Namespace) -> int:
     )
 
     telemetry = get_telemetry()
-    if (args.trace or args.metrics_out) and not telemetry.enabled:
+    if (args.trace or args.metrics_out or args.log) and not telemetry.enabled:
         telemetry = Telemetry(enabled=True, trace_memory=telemetry.trace_memory)
         set_telemetry(telemetry)
+    log_sink = _attach_log(args, telemetry)
 
     config = cert_config(args.scale)
     if args.seed is not None:
@@ -382,6 +451,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         )
         path = write_report(args.metrics_out, report)
         print(f"wrote run report to {path}")
+    _finish_monitoring(telemetry, None, None, log_sink, {})
     return 0
 
 
@@ -414,11 +484,16 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if args.checkpoint_every < 1:
         print("error: --checkpoint-every must be >= 1", file=sys.stderr)
         return 2
+    if args.export_every < 1:
+        print("error: --export-every must be >= 1", file=sys.stderr)
+        return 2
 
     telemetry = get_telemetry()
-    if (args.trace or args.metrics_out) and not telemetry.enabled:
+    needs_telemetry = args.trace or args.metrics_out or args.metrics_export or args.log
+    if needs_telemetry and not telemetry.enabled:
         telemetry = Telemetry(enabled=True, trace_memory=telemetry.trace_memory)
         set_telemetry(telemetry)
+    log_sink = _attach_log(args, telemetry)
 
     config = cert_config(args.scale)
     if args.seed is not None:
@@ -486,6 +561,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
         )
         start_index = 0
 
+    exporter, drift = _attach_monitoring(args, stream)
+
     emitted = []
     consumed = 0
     for d in range(start_index, len(days)):
@@ -508,9 +585,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if stream_dir is not None and consumed % args.checkpoint_every != 0:
         save_checkpoint(stream, stream_dir, extra_manifest=dataset_binding)
 
+    alerts = _finish_monitoring(
+        telemetry, exporter, drift, log_sink, stream.durable_counters()
+    )
+
     scored = [r for r in emitted if isinstance(r, DailyResult)]
     print(f"observed {consumed} day(s): {len(scored)} scored, "
           f"{stream.days_quarantined} quarantined, {stream.days_imputed} imputed")
+    for alert in alerts:
+        print(f"  ALERT [{alert['severity']}] {alert['message']}")
     if scored:
         last = scored[-1]
         rows = []
@@ -551,10 +634,70 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 "days_quarantined": stream.days_quarantined,
                 "days_imputed": stream.days_imputed,
             },
+            alerts=alerts,
         )
         path = write_report(args.metrics_out, report)
         print(f"wrote run report to {path}")
     return 0
+
+
+def _attach_log(args: argparse.Namespace, telemetry):
+    """Install the --log JSONL sink (before training, so worker spans land).
+
+    Worker processes inherit the parent telemetry through ``fork`` and
+    buffer their events only when the parent has a sink, so this must
+    run before any ensemble fan-out.
+    """
+    if not args.log:
+        return None
+    from repro.obs import attach_log_sink
+
+    return attach_log_sink(telemetry, args.log)
+
+
+def _attach_monitoring(args: argparse.Namespace, stream, ingestor=None):
+    """Wire up --metrics-export / --drift-monitor attachments.
+
+    Returns ``(exporter, drift_monitor)`` (each None when not
+    requested).  The exporter ticks on the ingestor when one is given
+    (per consumed delivery), else on the stream (per observed day).
+    """
+    exporter = None
+    if args.metrics_export:
+        from repro.obs import MetricsExporter
+
+        exporter = MetricsExporter(args.metrics_export, every=args.export_every)
+        if ingestor is not None:
+            ingestor.attach_exporter(exporter)
+        else:
+            stream.attach_exporter(exporter)
+    drift = None
+    if args.drift_monitor:
+        from repro.obs import IngestQualityMonitor, ScoreDriftMonitor
+
+        drift = ScoreDriftMonitor()
+        stream.attach_drift_monitor(drift)
+        if ingestor is not None:
+            ingestor.attach_quality_monitor(IngestQualityMonitor())
+    return exporter, drift
+
+
+def _finish_monitoring(telemetry, exporter, drift, log_sink, durable, ingestor=None):
+    """Final export flush, log-sink close; returns all accumulated alerts."""
+    if exporter is not None:
+        exporter.flush(telemetry, durable)
+        print(f"exported metrics to {exporter.prom_path} and {exporter.jsonl_path}")
+    alerts = list(drift.alerts) if drift is not None else []
+    if ingestor is not None:
+        alerts.extend(ingestor.alerts)
+    if log_sink is not None:
+        from repro.obs import detach_log_sink
+
+        detach_log_sink(telemetry)
+        log_sink.close()
+        print(f"wrote {log_sink.records_written} structured log record(s) "
+              f"to {log_sink.path}")
+    return alerts
 
 
 def _stream_day_doc(result) -> dict:
@@ -614,11 +757,16 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     if args.checkpoint_every < 1:
         print("error: --checkpoint-every must be >= 1", file=sys.stderr)
         return 2
+    if args.export_every < 1:
+        print("error: --export-every must be >= 1", file=sys.stderr)
+        return 2
 
     telemetry = get_telemetry()
-    if (args.trace or args.metrics_out) and not telemetry.enabled:
+    needs_telemetry = args.trace or args.metrics_out or args.metrics_export or args.log
+    if needs_telemetry and not telemetry.enabled:
         telemetry = Telemetry(enabled=True, trace_memory=telemetry.trace_memory)
         set_telemetry(telemetry)
+    log_sink = _attach_log(args, telemetry)
 
     config = cert_config(args.scale)
     if args.seed is not None:
@@ -712,6 +860,8 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         ingestor = Ingestor(SlabBuilder(users), stream, ingest_config)
         skip = 0
 
+    exporter, drift = _attach_monitoring(args, stream, ingestor)
+
     records = arrival_order(store)
     if args.shuffle_seed is not None:
         records = shuffled_arrival(
@@ -763,11 +913,18 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     if ingest_dir is not None:
         save_ingest_checkpoint(ingestor, ingest_dir, extra_manifest=dataset_binding)
 
+    alerts = _finish_monitoring(
+        telemetry, exporter, drift, log_sink, ingestor.durable_counters(),
+        ingestor=ingestor,
+    )
+
     scored = [r for r in emitted if isinstance(r, DailyResult)]
     print(f"consumed {consumed:,} deliveries: {ingestor.days_sealed} day(s) sealed, "
           f"{len(scored)} scored, {ingestor.events_late} late, "
           f"{ingestor.events_duplicate} duplicate(s), "
           f"{stream.days_quarantined} quarantined")
+    for alert in alerts:
+        print(f"  ALERT [{alert['severity']}] {alert['message']}")
     if scored:
         last = scored[-1]
         rows = []
@@ -811,9 +968,43 @@ def cmd_ingest(args: argparse.Namespace) -> int:
                 "days_sealed": ingestor.days_sealed,
                 "days_scored": len(scored),
             },
+            alerts=alerts,
         )
         path = write_report(args.metrics_out, report)
         print(f"wrote run report to {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Report-envelope utilities; currently ``repro report diff``."""
+    from pathlib import Path
+
+    from repro.obs import diff_directories, diff_reports, format_diff
+    from repro.obs.diff import load_report
+
+    baseline = Path(args.baseline)
+    current = Path(args.current)
+    problems: List[str] = []
+    if baseline.is_dir():
+        diffs, problems = diff_directories(
+            baseline, current, tolerance=args.tolerance, pattern=args.pattern
+        )
+    else:
+        diffs = [
+            diff_reports(
+                load_report(baseline), load_report(current),
+                tolerance=args.tolerance, name=current.name,
+            )
+        ]
+    print(format_diff(diffs, verbose=args.verbose))
+    for problem in problems:
+        print(f"! {problem}", file=sys.stderr)
+    regressions = sum(len(d.regressions) for d in diffs)
+    if regressions or problems:
+        print(f"FAIL: {regressions} regression(s), "
+              f"{len(problems)} structural problem(s)", file=sys.stderr)
+        return 1
+    print("PASS: no regressions")
     return 0
 
 
@@ -862,6 +1053,7 @@ _COMMANDS = {
     "detect": cmd_detect,
     "stream": cmd_stream,
     "ingest": cmd_ingest,
+    "report": cmd_report,
     "case-study": cmd_case_study,
     "presets": cmd_presets,
 }

@@ -106,7 +106,9 @@ class DailyResult:
     Both are observational -- scores and rankings never depend on them.
     ``imputed_values`` counts measurement cells repaired by the
     ``impute-group-mean`` policy before this day was scored (0 on a
-    clean day).
+    clean day).  ``alerts`` carries any ``acobe.alert`` records an
+    attached drift monitor raised for this day (empty without a
+    monitor, and almost always empty with one).
     """
 
     day: date
@@ -115,6 +117,7 @@ class DailyResult:
     latency_seconds: float = 0.0
     score_summary: Dict[str, ScoreSummary] = field(default_factory=dict)
     imputed_values: int = 0
+    alerts: List[dict] = field(default_factory=list)
 
     def rank_of(self, user: str) -> int:
         return self.investigation.position_of(user)
@@ -226,6 +229,51 @@ class StreamingDetector:
         self.days_quarantined = 0
         self.days_imputed = 0
         self.values_imputed = 0
+        # Monitoring-plane attachments; both optional, both observational.
+        self._exporter = None
+        self._drift_monitor = None
+
+    # ------------------------------------------------------------------
+    # Monitoring-plane attachments
+    # ------------------------------------------------------------------
+    def attach_exporter(self, exporter) -> None:
+        """Tick a :class:`repro.obs.export.MetricsExporter` once per day.
+
+        Every :meth:`observe_day` call (warm-up, quarantined or scored)
+        counts as one tick; each flush carries :meth:`durable_counters`
+        so the exported totals survive kill-and-resume.
+        """
+        self._exporter = exporter
+
+    def attach_drift_monitor(self, monitor) -> None:
+        """Feed each scored day's per-aspect scores to a drift monitor.
+
+        ``monitor`` is typically a
+        :class:`repro.obs.drift.ScoreDriftMonitor`; alerts it raises
+        surface on :attr:`DailyResult.alerts`.  The monitor observes
+        copies and never feeds back into scoring.
+        """
+        self._drift_monitor = monitor
+
+    def durable_counters(self) -> Dict[str, int]:
+        """Checkpoint-backed lifetime totals (survive process restarts).
+
+        Process-local telemetry counters reset when a stream restarts
+        from a checkpoint; these totals travel through
+        :meth:`export_state` / :meth:`restore_state` instead, so the
+        ``durable`` section of a metrics export equals the
+        uninterrupted run's after any kill-and-resume.
+        """
+        return {
+            "stream.days_observed": self.days_observed,
+            "stream.days_quarantined": self.days_quarantined,
+            "stream.days_imputed": self.days_imputed,
+            "stream.values_imputed": self.values_imputed,
+        }
+
+    def _export_tick(self, telemetry) -> None:
+        if self._exporter is not None:
+            self._exporter.tick(telemetry, self.durable_counters())
 
     # ------------------------------------------------------------------
     @property
@@ -297,6 +345,12 @@ class StreamingDetector:
                 self.values_imputed += imputed_values
                 telemetry.counter("stream.days_imputed").inc()
                 telemetry.counter("stream.values_imputed").inc(imputed_values)
+                telemetry.log_event(
+                    "stream.day_imputed",
+                    level="warning",
+                    day=str(day),
+                    n_values=imputed_values,
+                )
             else:
                 return self._quarantine(day, reason, detail, bad_mask, telemetry)
 
@@ -319,6 +373,10 @@ class StreamingDetector:
             elapsed = time.perf_counter() - start
             telemetry.counter("streaming.days_total").inc()
             telemetry.histogram("streaming.day_seconds").observe(elapsed)
+            telemetry.log_event(
+                "stream.day_buffered", day=str(day), wall_seconds=round(elapsed, 6)
+            )
+            self._export_tick(telemetry)
             return None
         with telemetry.span("streaming.observe_day", day=str(day)) as span:
             result = self._emit(day)
@@ -331,6 +389,21 @@ class StreamingDetector:
         for aspect, summary in result.score_summary.items():
             telemetry.histogram(f"streaming.score_median.{aspect}").observe(summary.median)
             telemetry.histogram(f"streaming.score_max.{aspect}").observe(summary.max)
+        if self._drift_monitor is not None:
+            result.alerts = self._drift_monitor.observe(
+                day, {aspect: arr.tolist() for aspect, arr in result.scores.items()}
+            )
+        telemetry.log_event(
+            "stream.day_scored",
+            day=str(day),
+            latency_seconds=round(result.latency_seconds, 6),
+            imputed_values=imputed_values,
+            top_user=result.investigation.entries[0].user
+            if result.investigation.entries
+            else None,
+            alerts=len(result.alerts),
+        )
+        self._export_tick(telemetry)
         return result
 
     # ------------------------------------------------------------------
@@ -382,6 +455,15 @@ class StreamingDetector:
             "streaming.quarantine_day", day=str(day), reason=reason
         ) as span:
             span.annotate(n_bad_values=n_bad)
+        telemetry.log_event(
+            "stream.day_quarantined",
+            level="warning",
+            day=str(day),
+            reason=reason,
+            n_bad_values=n_bad,
+            policy=self.on_bad_day,
+        )
+        self._export_tick(telemetry)
         return DegradedDayResult(
             day=day,
             policy=self.on_bad_day,

@@ -227,6 +227,71 @@ class Ingestor:
         self.events_late = 0
         self.events_duplicate = 0
         self.days_sealed = 0
+        # Monitoring-plane attachments; both optional, both observational.
+        self._exporter = None
+        self._quality_monitor = None
+        self.alerts: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # monitoring-plane attachments
+    # ------------------------------------------------------------------
+
+    def attach_exporter(self, exporter) -> None:
+        """Tick a :class:`repro.obs.export.MetricsExporter` per delivery.
+
+        Every consumed delivery (on-time, duplicate or late-but-absorbed)
+        counts as one tick; each flush carries :meth:`durable_counters`
+        so exported totals survive kill-and-resume.
+        """
+        self._exporter = exporter
+
+    def attach_quality_monitor(self, monitor) -> None:
+        """Check an :class:`repro.obs.drift.IngestQualityMonitor` per seal.
+
+        After every sealed day the monitor sees the lifetime
+        late/duplicate/quarantine counters; alerts it raises accumulate
+        on :attr:`alerts` (and in the monitor's own ``alerts`` list).
+        """
+        self._quality_monitor = monitor
+
+    def durable_counters(self) -> Dict[str, int]:
+        """Checkpoint-backed lifetime totals (survive process restarts).
+
+        These travel through :meth:`export_state` / :meth:`restore_state`
+        rather than the process-local telemetry registry, so the
+        ``durable`` section of a metrics export equals the uninterrupted
+        run's after any kill-and-resume.
+        """
+        counters = {
+            "ingest.events_pushed": self.events_pushed,
+            "ingest.events_late": self.events_late,
+            "ingest.events_duplicate": self.events_duplicate,
+            "ingest.days_sealed": self.days_sealed,
+        }
+        if self._detector is not None:
+            counters.update(self._detector.durable_counters())
+        return counters
+
+    def _export_tick(self, telemetry) -> None:
+        if self._exporter is not None:
+            self._exporter.tick(telemetry, self.durable_counters())
+
+    def _quality_check(self, day: date, telemetry) -> None:
+        if self._quality_monitor is None:
+            return
+        days_quarantined = (
+            self._detector.days_quarantined if self._detector is not None else 0
+        )
+        self.alerts.extend(
+            self._quality_monitor.observe(
+                day,
+                events_pushed=self.events_pushed,
+                events_late=self.events_late,
+                events_duplicate=self.events_duplicate,
+                days_sealed=self.days_sealed,
+                days_quarantined=days_quarantined,
+            )
+        )
 
     @property
     def detector(self) -> Optional[StreamingDetector]:
@@ -295,6 +360,7 @@ class Ingestor:
             self.events_duplicate += 1
             telemetry.counter("ingest.events").inc()
             telemetry.counter("ingest.events_duplicate").inc()
+            self._export_tick(telemetry)
             return []
 
         new_max = self._clock.max_event_day
@@ -325,6 +391,7 @@ class Ingestor:
         self.events_pushed += 1
         telemetry.counter("ingest.events").inc()
         telemetry.gauge("ingest.open_days").set(self.open_day_span)
+        self._export_tick(telemetry)
         return results
 
     def push_many(self, events: Iterable[Union[Event, Tuple[Event, str]]]) -> List[IngestResult]:
@@ -375,8 +442,16 @@ class Ingestor:
         self.events_late += 1
         telemetry.counter("ingest.events").inc()
         telemetry.counter("ingest.events_late").inc()
+        telemetry.log_event(
+            "ingest.event_late",
+            level="warning",
+            day=event.day.isoformat(),
+            cursor=self._cursor.isoformat(),
+            policy=self.config.late_policy,
+        )
         if self.config.late_policy == "quarantine-file":
             self._quarantine(event)
+        self._export_tick(telemetry)
         return []
 
     def _quarantine(self, event: Event) -> None:
@@ -404,6 +479,13 @@ class Ingestor:
             telemetry.histogram("ingest.seal_latency_seconds").observe(
                 time.perf_counter() - started
             )
+            telemetry.log_event(
+                "ingest.day_sealed",
+                day=day.isoformat(),
+                n_records=n_records,
+                scored=isinstance(result, DailyResult),
+            )
+            self._quality_check(day, telemetry)
             if result is not None:  # detector warm-up days emit nothing
                 results.append(result)
             day += _ONE_DAY

@@ -28,6 +28,10 @@ serializes the snapshot alongside the weights, and the parent merges
 every snapshot back in -- so parallel training is exactly as
 inspectable as serial, and merged counters equal the serial run's
 (``nn.epochs_total`` etc. are sums of per-task contributions).
+Workers inherit the parent's ``run_id`` and continue its trace
+(the fork-inherited innermost span becomes their roots' parent), so
+one ``trace_id`` grep in a structured log (:mod:`repro.obs.log`)
+reconstructs a fan-out across processes.
 
 Platforms without the ``fork`` start method (and sandboxes where
 process pools cannot be created at all) silently fall back to the
@@ -173,7 +177,18 @@ def _train_in_worker(
     if not parent.enabled:
         trained = _train_serial(task)
         return task.name, trained.history, network_to_bytes(trained.autoencoder.network), None
-    local = Telemetry(enabled=True, trace_memory=parent.trace_memory)
+    # The worker continues the parent's trace: same run_id, the parent's
+    # innermost open span (fork-inherited) becomes the worker roots'
+    # parent, and any log events buffer in the snapshot for the parent's
+    # sink to drain on merge.
+    context = parent.current_context()
+    local = Telemetry(
+        enabled=True,
+        trace_memory=parent.trace_memory,
+        run_id=parent.run_id,
+        parent_context={k: v for k, v in context.items() if k != "run_id"},
+    )
+    local.capture_logs = parent.log_sink is not None or parent.capture_logs
     previous = set_telemetry(local)
     try:
         trained = _train_serial(task)

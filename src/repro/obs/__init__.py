@@ -1,4 +1,4 @@
-"""``repro.obs``: the observability layer (spans, metrics, run reports).
+"""``repro.obs``: the observability layer (spans, metrics, logs, reports).
 
 Zero-dependency telemetry for the ACOBE pipeline.  Disabled by default
 and guaranteed to have no numerical impact; enable per process with
@@ -11,22 +11,61 @@ and guaranteed to have no numerical impact; enable per process with
     model.fit(cube, group_map, train_days)
     print(format_span_tree(get_telemetry()))
 
-See docs/API.md ("Observability") for span/metric naming conventions
-and the JSON run-report schema.
+The monitoring plane on top of the core instruments:
+
+* :mod:`repro.obs.log` -- structured JSON-lines event logging with
+  run/trace/span-id propagation across worker processes.
+* :mod:`repro.obs.export` -- Prometheus text-exposition and JSONL
+  metric exporters with durable (checkpoint-backed) counters.
+* :mod:`repro.obs.drift` -- online PSI/KS score-drift and ingest
+  data-quality monitors emitting ``acobe.alert`` records.
+* :mod:`repro.obs.diff` -- report/bench comparison with tolerance
+  bands (the ``tools/check_bench_regression.py`` CI gate).
+
+See docs/API.md ("Observability") and docs/OBSERVABILITY.md for span,
+metric and log naming conventions plus the JSON report schemas.
 """
 
+from repro.obs.diff import (
+    MetricDelta,
+    ReportDiff,
+    diff_directories,
+    diff_reports,
+    format_diff,
+)
+from repro.obs.drift import (
+    DriftConfig,
+    IngestQualityConfig,
+    IngestQualityMonitor,
+    ScoreDriftMonitor,
+    ks_statistic,
+    population_stability_index,
+)
+from repro.obs.export import MetricsExporter, render_prometheus
+from repro.obs.log import (
+    JsonlLogSink,
+    attach_log_sink,
+    detach_log_sink,
+    iter_log_jsonl,
+    open_structured_log,
+    read_log_jsonl,
+)
 from repro.obs.report import (
+    ALERT_SCHEMA,
     BENCH_SCHEMA,
     RUN_REPORT_SCHEMA,
     SCHEMA_VERSION,
+    build_alert,
     build_bench_report,
     build_run_report,
     format_span_tree,
+    validate_alert,
     validate_bench_report,
     validate_run_report,
     write_report,
 )
 from repro.obs.telemetry import (
+    DEFAULT_HISTOGRAM_CAP,
     TELEMETRY_ENV_VAR,
     Counter,
     Gauge,
@@ -35,27 +74,54 @@ from repro.obs.telemetry import (
     SpanRecord,
     Telemetry,
     get_telemetry,
+    percentile,
     set_telemetry,
+    summarize_histogram_snapshot,
     telemetry_from_env,
 )
 
 __all__ = [
+    "ALERT_SCHEMA",
     "BENCH_SCHEMA",
     "Counter",
+    "DEFAULT_HISTOGRAM_CAP",
+    "DriftConfig",
     "Gauge",
     "Histogram",
+    "IngestQualityConfig",
+    "IngestQualityMonitor",
+    "JsonlLogSink",
+    "MetricDelta",
+    "MetricsExporter",
     "MetricsRegistry",
+    "ReportDiff",
     "RUN_REPORT_SCHEMA",
     "SCHEMA_VERSION",
+    "ScoreDriftMonitor",
     "SpanRecord",
     "TELEMETRY_ENV_VAR",
     "Telemetry",
+    "attach_log_sink",
+    "build_alert",
     "build_bench_report",
     "build_run_report",
+    "detach_log_sink",
+    "diff_directories",
+    "diff_reports",
+    "format_diff",
     "format_span_tree",
     "get_telemetry",
+    "iter_log_jsonl",
+    "ks_statistic",
+    "open_structured_log",
+    "percentile",
+    "population_stability_index",
+    "read_log_jsonl",
+    "render_prometheus",
     "set_telemetry",
+    "summarize_histogram_snapshot",
     "telemetry_from_env",
+    "validate_alert",
     "validate_bench_report",
     "validate_run_report",
     "write_report",

@@ -1,0 +1,274 @@
+"""Compare two ``acobe.bench`` / ``acobe.run_report`` envelopes.
+
+Performance regressions sneak in one "it's probably noise" at a time.
+This module turns two report envelopes (a committed baseline and a
+fresh run) into a per-metric verdict table with tolerance bands, so a
+2x ingest slowdown fails CI instead of scrolling past in a log.
+
+The polarity of each metric is inferred from its name: ``*_seconds``,
+``*_bytes`` and ``*overhead*`` are lower-is-better; ``*_per_sec``,
+``*speedup*``, ``*auc*``, ``*precision*``/``*recall*`` are
+higher-is-better; anything unrecognised is compared informationally
+and never fails the gate.  Boolean metrics (e.g. ``parity``) regress
+only by flipping from true to false.
+
+Entry points: :func:`diff_reports` for one pair of documents,
+:func:`diff_directories` for ``BENCH_*.json`` trees (the CI gate in
+``tools/check_bench_regression.py``), and ``repro report diff`` on the
+command line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "MetricDelta",
+    "ReportDiff",
+    "diff_directories",
+    "diff_reports",
+    "flatten_metrics",
+    "format_diff",
+    "load_report",
+    "metric_direction",
+]
+
+# Name fragments that reveal which way "better" points.  Checked in
+# order; the first family with a match wins.
+_LOWER_BETTER = ("_seconds", "_bytes", "overhead", "latency", "_loss", "rss")
+_HIGHER_BETTER = ("per_sec", "per_second", "speedup", "auc", "precision",
+                  "recall", "throughput", "f1")
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` is better, or ``None`` when unknown."""
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _LOWER_BETTER):
+        return "lower"
+    if any(fragment in lowered for fragment in _HIGHER_BETTER):
+        return "higher"
+    return None
+
+
+def flatten_metrics(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Extract comparable scalars from a report envelope.
+
+    ``acobe.bench`` documents contribute their ``metrics`` mapping
+    as-is.  ``acobe.run_report`` documents contribute counters,
+    gauges, histogram quantiles (as ``<name>.p50`` etc.) and per-span
+    wall seconds -- enough to diff two run reports of the same job.
+    """
+    metrics = document.get("metrics")
+    flat: Dict[str, Any] = {}
+    if document.get("schema") == "acobe.run_report":
+        if isinstance(metrics, Mapping):
+            for name, value in (metrics.get("counters") or {}).items():
+                flat[f"counters.{name}"] = value
+            for name, value in (metrics.get("gauges") or {}).items():
+                flat[f"gauges.{name}"] = value
+            for name, entry in (metrics.get("histograms") or {}).items():
+                summary = entry.get("summary", {}) if isinstance(entry, Mapping) else {}
+                for key in ("p50", "p95", "p99", "max", "mean"):
+                    if key in summary:
+                        flat[f"{name}.{key}"] = summary[key]
+        for span in document.get("spans") or []:
+            _flatten_spans(span, "", flat)
+        return flat
+    if isinstance(metrics, Mapping):
+        flat.update(metrics)
+    return flat
+
+
+def _flatten_spans(span: Mapping[str, Any], prefix: str, out: Dict[str, Any]) -> None:
+    name = f"{prefix}{span.get('name', '?')}"
+    wall = span.get("wall_seconds")
+    if wall is not None:
+        key = f"span.{name}.wall_seconds"
+        # Repeated spans (one per streamed day, say) accumulate.
+        out[key] = out.get(key, 0.0) + float(wall)
+    for child in span.get("children") or []:
+        _flatten_spans(child, f"{name}.", out)
+
+
+@dataclass
+class MetricDelta:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    baseline: Any
+    current: Any
+    direction: Optional[str]
+    ratio: Optional[float]
+    status: str  # "ok" | "regression" | "improved" | "info" | "missing" | "new"
+
+    def describe(self) -> str:
+        if self.ratio is None:
+            return f"{self.baseline!r} -> {self.current!r}"
+        return f"{self.baseline:.6g} -> {self.current:.6g} ({self.ratio:.2f}x)"
+
+
+@dataclass
+class ReportDiff:
+    """All metric deltas between one baseline/current document pair."""
+
+    name: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        # A metric that vanished is as gate-worthy as one that slowed down.
+        return [d for d in self.deltas if d.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _compare_metric(
+    name: str, baseline: Any, current: Any, tolerance: float
+) -> MetricDelta:
+    direction = metric_direction(name)
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        status = "regression" if (baseline is True and current is not True) else "ok"
+        return MetricDelta(name, baseline, current, None, None, status)
+    try:
+        base_value = float(baseline)
+        cur_value = float(current)
+    except (TypeError, ValueError):
+        status = "ok" if baseline == current else "info"
+        return MetricDelta(name, baseline, current, direction, None, status)
+    if base_value == 0.0:
+        status = "ok" if cur_value == 0.0 else "info"
+        return MetricDelta(name, base_value, cur_value, direction, None, status)
+    ratio = cur_value / base_value
+    if direction is None:
+        status = "info"
+    elif direction == "lower":
+        if ratio > 1.0 + tolerance:
+            status = "regression"
+        elif ratio < 1.0 - tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+    else:
+        if ratio < 1.0 / (1.0 + tolerance):
+            status = "regression"
+        elif ratio > 1.0 + tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+    return MetricDelta(name, base_value, cur_value, direction, ratio, status)
+
+
+def diff_reports(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerance: float = 0.5,
+    name: Optional[str] = None,
+) -> ReportDiff:
+    """Diff two report envelopes of the same schema.
+
+    ``tolerance`` is the fractional band around the baseline that does
+    not count as movement: 0.5 means a lower-is-better metric regresses
+    past 1.5x baseline and a higher-is-better one below 1/1.5x.  Timing
+    on shared CI runners is noisy; the default is deliberately wide so
+    only step-change regressions (the 2x kind) trip the gate.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    base_flat = flatten_metrics(baseline)
+    cur_flat = flatten_metrics(current)
+    diff = ReportDiff(name or str(current.get("name", baseline.get("name", "report"))))
+    for metric in sorted(set(base_flat) | set(cur_flat)):
+        if metric not in cur_flat:
+            diff.deltas.append(
+                MetricDelta(metric, base_flat[metric], None, metric_direction(metric),
+                            None, "missing"))
+        elif metric not in base_flat:
+            diff.deltas.append(
+                MetricDelta(metric, None, cur_flat[metric], metric_direction(metric),
+                            None, "new"))
+        else:
+            diff.deltas.append(
+                _compare_metric(metric, base_flat[metric], cur_flat[metric], tolerance))
+    return diff
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def diff_directories(
+    baseline_dir: Union[str, Path],
+    current_dir: Union[str, Path],
+    tolerance: float = 0.5,
+    pattern: str = "BENCH_*.json",
+) -> Tuple[List[ReportDiff], List[str]]:
+    """Diff every matching report pair between two directories.
+
+    Returns ``(diffs, problems)`` where ``problems`` collects files
+    present on only one side -- a baseline with no current counterpart
+    means a benchmark silently stopped running, which the gate treats
+    as a failure in its own right.
+    """
+    baseline_dir = Path(baseline_dir)
+    current_dir = Path(current_dir)
+    base_files = {p.name: p for p in sorted(baseline_dir.glob(pattern))}
+    cur_files = {p.name: p for p in sorted(current_dir.glob(pattern))}
+    diffs: List[ReportDiff] = []
+    problems: List[str] = []
+    for name in sorted(base_files):
+        if name not in cur_files:
+            problems.append(f"baseline {name} has no counterpart in {current_dir}")
+            continue
+        diffs.append(diff_reports(load_report(base_files[name]),
+                                  load_report(cur_files[name]),
+                                  tolerance=tolerance, name=name))
+    for name in sorted(set(cur_files) - set(base_files)):
+        problems.append(f"current {name} has no baseline in {baseline_dir} (new bench?)")
+    if not base_files:
+        problems.append(f"no files matching {pattern!r} in {baseline_dir}")
+    return diffs, problems
+
+
+_STATUS_MARK = {
+    "ok": " ",
+    "info": " ",
+    "improved": "+",
+    "regression": "!",
+    "missing": "!",
+    "new": "+",
+}
+
+
+def format_diff(diffs: List[ReportDiff], verbose: bool = False) -> str:
+    """Human-readable verdict table (plain text, no dependencies)."""
+    rows: List[Tuple[str, str, str, str]] = []
+    for diff in diffs:
+        for delta in diff.deltas:
+            if not verbose and delta.status in ("ok", "info", "new"):
+                continue
+            rows.append((_STATUS_MARK.get(delta.status, "?"),
+                         f"{diff.name}:{delta.name}",
+                         delta.status,
+                         delta.describe()))
+    total = sum(len(d.deltas) for d in diffs)
+    regressions = sum(len(d.regressions) for d in diffs)
+    if not rows:
+        lines = []
+    else:
+        widths = [max(len(row[i]) for row in rows) for i in range(3)]
+        lines = [
+            "  ".join([row[0].ljust(widths[0]), row[1].ljust(widths[1]),
+                       row[2].ljust(widths[2]), row[3]]).rstrip()
+            for row in rows
+        ]
+    lines.append(
+        f"{len(diffs)} report(s), {total} metric(s) compared, "
+        f"{regressions} regression(s)"
+    )
+    return "\n".join(lines)

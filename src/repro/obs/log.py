@@ -1,0 +1,140 @@
+"""Structured JSON-lines event logging with trace propagation.
+
+One log line per event, one JSON object per line -- no format strings,
+no multi-line stack spew, nothing a log pipeline has to parse twice.
+Every record carries the correlation identities minted by
+:class:`~repro.obs.telemetry.Telemetry` at span entry:
+
+``run_id``
+    One id for the whole run, shared across every process the run fans
+    out to (ensemble-training workers inherit the parent's, and buffered
+    worker records travel home inside telemetry snapshots).
+``trace_id``
+    The root span under which the event happened -- e.g. one streamed
+    day.  ``grep '"trace_id": "<id>"' run.jsonl`` reconstructs that
+    day's causal path across ingest, scoring and worker processes.
+``span_id`` / ``parent_span_id``
+    The innermost open span, and (on span records) its parent.
+
+Usage::
+
+    telemetry = Telemetry(enabled=True)
+    with open_structured_log(telemetry, "run.jsonl"):
+        ...  # every span entry/exit and log_event() lands in the file
+
+The logger is write-only and zero-dependency: records are rendered with
+``json.dumps`` (non-JSON values stringified) and flushed per line so a
+killed process loses at most the record being written.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "JsonlLogSink",
+    "attach_log_sink",
+    "detach_log_sink",
+    "iter_log_jsonl",
+    "open_structured_log",
+    "read_log_jsonl",
+]
+
+
+class JsonlLogSink:
+    """Appends structured records to a file as JSON lines, flushing each.
+
+    Accepts a path (opened in append mode, parents created) or any
+    writable text stream.  Satisfies the ``write(record: dict)`` duck
+    type :meth:`Telemetry.log_event` delivers to.
+    """
+
+    def __init__(self, destination: Union[str, Path, IO[str]]):
+        if hasattr(destination, "write"):
+            self._stream: IO[str] = destination  # type: ignore[assignment]
+            self._owns_stream = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(destination)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+            self._owns_stream = True
+        self.records_written = 0
+
+    def write(self, record: dict) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._stream.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlLogSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_log_sink(
+    telemetry: Telemetry, destination: Union[str, Path, IO[str]]
+) -> JsonlLogSink:
+    """Create a :class:`JsonlLogSink` and install it on ``telemetry``.
+
+    Any records the telemetry buffered before the sink existed (e.g.
+    merged in from a worker snapshot) are drained into the sink first,
+    so attach order cannot lose events.
+    """
+    sink = JsonlLogSink(destination)
+    for record in telemetry.log_records:
+        sink.write(record)
+    telemetry.log_records = []
+    telemetry.log_sink = sink
+    return sink
+
+
+def detach_log_sink(telemetry: Telemetry) -> Optional[JsonlLogSink]:
+    """Remove and return the telemetry's sink (caller closes it)."""
+    sink = telemetry.log_sink
+    telemetry.log_sink = None
+    return sink
+
+
+class _SinkSession:
+    """Context manager pairing attach_log_sink with close-on-exit."""
+
+    def __init__(self, telemetry: Telemetry, sink: JsonlLogSink):
+        self._telemetry = telemetry
+        self.sink = sink
+
+    def __enter__(self) -> JsonlLogSink:
+        return self.sink
+
+    def __exit__(self, *exc_info) -> None:
+        detach_log_sink(self._telemetry)
+        self.sink.close()
+
+
+def open_structured_log(
+    telemetry: Telemetry, destination: Union[str, Path, IO[str]]
+) -> _SinkSession:
+    """Attach a JSONL sink for the duration of a ``with`` block."""
+    return _SinkSession(telemetry, attach_log_sink(telemetry, destination))
+
+
+def read_log_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Parse a structured log file back into records (for tests/tools)."""
+    return list(iter_log_jsonl(path))
+
+
+def iter_log_jsonl(path: Union[str, Path]) -> Iterator[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

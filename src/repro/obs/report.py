@@ -1,17 +1,22 @@
 """Structured run reports: the JSON face of the telemetry layer.
 
-Two schema-versioned document families share one envelope (``schema``,
-``version``, ``name``, ``generated_at``, ``meta``):
+Three schema-versioned document families share one envelope design:
 
 * ``acobe.run_report`` -- one detection run: per-stage span timings,
-  merged metrics (histograms summarized, raw values preserved) and the
-  per-aspect training curves.  Produced by ``repro detect --trace
+  merged metrics (histograms summarized with p50/p95/p99, sampled
+  values preserved), per-aspect training curves and any monitoring
+  alerts raised during the run.  Produced by ``repro detect --trace
   --metrics-out PATH`` and by :func:`build_run_report` directly.
 * ``acobe.bench`` -- one benchmark measurement, written as
   ``benchmarks/results/BENCH_<name>.json`` so the performance
-  trajectory is machine-readable across PRs.
+  trajectory is machine-readable across PRs (and machine-*checked* by
+  ``tools/check_bench_regression.py`` / ``repro report diff``).
+* ``acobe.alert`` -- one monitoring alert (score drift, ingest data
+  quality), embedded in run reports and
+  :class:`~repro.core.streaming.DailyResult` records by
+  :mod:`repro.obs.drift`.
 
-Both validators are deliberately dependency-free (no jsonschema): they
+All validators are deliberately dependency-free (no jsonschema): they
 check the envelope and the field types the consumers rely on, raising
 ``ValueError`` with the offending path.
 """
@@ -21,17 +26,25 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
-from repro.obs.telemetry import Histogram, SpanRecord, Telemetry
+from repro.obs.telemetry import (
+    SpanRecord,
+    Telemetry,
+    summarize_histogram_snapshot,
+)
 
 __all__ = [
+    "ALERT_SCHEMA",
+    "ALERT_SEVERITIES",
     "BENCH_SCHEMA",
     "RUN_REPORT_SCHEMA",
     "SCHEMA_VERSION",
+    "build_alert",
     "build_bench_report",
     "build_run_report",
     "format_span_tree",
+    "validate_alert",
     "validate_bench_report",
     "validate_run_report",
     "write_report",
@@ -39,7 +52,11 @@ __all__ = [
 
 RUN_REPORT_SCHEMA = "acobe.run_report"
 BENCH_SCHEMA = "acobe.bench"
+ALERT_SCHEMA = "acobe.alert"
 SCHEMA_VERSION = 1
+
+#: Valid ``severity`` values of an ``acobe.alert``, least to most urgent.
+ALERT_SEVERITIES = ("info", "warning", "critical")
 
 
 def _envelope(schema: str, name: str, meta: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
@@ -52,13 +69,59 @@ def _envelope(schema: str, name: str, meta: Optional[Mapping[str, Any]]) -> Dict
     }
 
 
-def _summarize_histograms(raw: Mapping[str, list]) -> Dict[str, dict]:
+def _summarize_histograms(raw: Mapping[str, Any]) -> Dict[str, dict]:
+    """name -> {summary (incl. p50/p95/p99), values} for every histogram.
+
+    ``values`` carries the (reservoir-bounded) sample list; the summary's
+    count/min/max/mean stay exact even when sampling kicked in.
+    """
     out: Dict[str, dict] = {}
-    for name, values in raw.items():
-        histogram = Histogram()
-        histogram.values = list(values)
-        out[name] = {"summary": histogram.summary(), "values": list(values)}
+    for name, entry in raw.items():
+        if isinstance(entry, Mapping):
+            values = [float(v) for v in entry.get("values", [])]
+        else:
+            values = [float(v) for v in entry]
+        out[name] = {"summary": summarize_histogram_snapshot(entry), "values": values}
     return out
+
+
+def build_alert(
+    kind: str,
+    message: str,
+    severity: str = "warning",
+    day: Optional[Any] = None,
+    metric: Optional[str] = None,
+    value: Optional[float] = None,
+    threshold: Optional[float] = None,
+    context: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One schema-versioned ``acobe.alert`` record.
+
+    Args:
+        kind: alert family (``score-drift``, ``ingest-quality``, ...).
+        message: the operator-facing sentence.
+        severity: one of :data:`ALERT_SEVERITIES`.
+        day: the detection day the alert fired on (stringified).
+        metric / value / threshold: the breached signal, its observed
+            value and the configured bound.
+        context: extra JSON-able diagnostics (aspect, window sizes, ...).
+    """
+    if severity not in ALERT_SEVERITIES:
+        raise ValueError(
+            f"severity must be one of {ALERT_SEVERITIES}, got {severity!r}"
+        )
+    return {
+        "schema": ALERT_SCHEMA,
+        "version": SCHEMA_VERSION,
+        "kind": str(kind),
+        "severity": severity,
+        "message": str(message),
+        "day": None if day is None else str(day),
+        "metric": metric,
+        "value": None if value is None else float(value),
+        "threshold": None if threshold is None else float(threshold),
+        "context": dict(context or {}),
+    }
 
 
 def build_run_report(
@@ -66,6 +129,7 @@ def build_run_report(
     training_histories: Optional[Mapping[str, Any]] = None,
     name: str = "run",
     meta: Optional[Mapping[str, Any]] = None,
+    alerts: Optional[Iterable[Mapping[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Render a telemetry capture (plus training curves) as one document.
 
@@ -75,9 +139,12 @@ def build_run_report(
             ``CompoundBehaviorModel.training_histories``); serialized as
             per-aspect loss/val-loss/grad-norm curves.
         name / meta: envelope fields (model name, scale, seed, ...).
+        alerts: ``acobe.alert`` records raised during the run (e.g. from
+            :class:`repro.obs.drift.ScoreDriftMonitor`).
     """
     snapshot = telemetry.snapshot()
     document = _envelope(RUN_REPORT_SCHEMA, name, meta)
+    document["run_id"] = telemetry.run_id
     document["spans"] = snapshot["spans"]
     document["metrics"] = {
         "counters": snapshot["metrics"]["counters"],
@@ -93,6 +160,7 @@ def build_run_report(
             "grad_norm": [float(v) for v in getattr(history, "grad_norm", [])],
         }
     document["training"] = training
+    document["alerts"] = [dict(alert) for alert in (alerts or [])]
     return document
 
 
@@ -182,6 +250,40 @@ def validate_run_report(document: Mapping[str, Any]) -> None:
         _check(isinstance(curves.get("epochs"), int), f"{where}.epochs", "an int")
         for key in ("loss", "val_loss", "grad_norm"):
             _check(isinstance(curves.get(key), list), f"{where}.{key}", "a list")
+    # ``alerts`` is optional for backward compatibility with version-1
+    # reports written before the monitoring plane existed.
+    if "alerts" in document:
+        alerts = document["alerts"]
+        _check(isinstance(alerts, list), "alerts", "a list")
+        for i, alert in enumerate(alerts):
+            try:
+                validate_alert(alert)
+            except ValueError as exc:
+                raise ValueError(f"invalid report: alerts[{i}]: {exc}") from None
+
+
+def validate_alert(document: Mapping[str, Any]) -> None:
+    """Raise ValueError unless ``document`` is a valid ``acobe.alert``."""
+    _check(isinstance(document, Mapping), "$", "a mapping")
+    _check(document.get("schema") == ALERT_SCHEMA, "schema", repr(ALERT_SCHEMA))
+    _check(isinstance(document.get("version"), int), "version", "an int")
+    _check(document.get("version") >= 1, "version", ">= 1")
+    _check(
+        isinstance(document.get("kind"), str) and bool(document.get("kind")),
+        "kind", "a non-empty string",
+    )
+    _check(
+        document.get("severity") in ALERT_SEVERITIES,
+        "severity", f"one of {ALERT_SEVERITIES}",
+    )
+    _check(isinstance(document.get("message"), str), "message", "a string")
+    _check(isinstance(document.get("context"), Mapping), "context", "a mapping")
+    for key in ("value", "threshold"):
+        value = document.get(key)
+        _check(
+            value is None or isinstance(value, (int, float)),
+            key, "a number or null",
+        )
 
 
 def validate_bench_report(document: Mapping[str, Any]) -> None:
@@ -199,7 +301,12 @@ def validate_bench_report(document: Mapping[str, Any]) -> None:
 
 
 def format_span_tree(telemetry: Telemetry, min_wall_seconds: float = 0.0) -> str:
-    """An indented text rendering of the span forest with timings."""
+    """An indented text rendering of the span forest with timings.
+
+    When the capture recorded histograms, a trailing section lists each
+    one with its count and p50/p95/p99 -- the terminal-friendly view of
+    the same summaries the exporters and run reports carry.
+    """
     lines: list = []
 
     def render(record: SpanRecord, depth: int) -> None:
@@ -221,6 +328,21 @@ def format_span_tree(telemetry: Telemetry, min_wall_seconds: float = 0.0) -> str
 
     for root in telemetry.spans:
         render(root, 0)
+    histograms = telemetry.metrics.histograms
+    if histograms:
+        if lines:
+            lines.append("")
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            summary = histograms[name].summary()
+            if not summary.get("count"):
+                lines.append(f"  {name}  count=0")
+                continue
+            lines.append(
+                f"  {name}  count={summary['count']}"
+                f"  p50={summary['p50']:.6g}  p95={summary['p95']:.6g}"
+                f"  p99={summary['p99']:.6g}  max={summary['max']:.6g}"
+            )
     if not lines:
         return "(no spans recorded)"
     return "\n".join(lines)

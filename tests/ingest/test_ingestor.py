@@ -217,7 +217,7 @@ class TestTelemetry:
             assert metrics["counters"]["ingest.events_duplicate"] == 1
             assert metrics["counters"]["ingest.events_late"] == 1
             assert metrics["counters"]["ingest.days_sealed"] == 1
-            assert len(metrics["histograms"]["ingest.seal_latency_seconds"]) == 1
+            assert metrics["histograms"]["ingest.seal_latency_seconds"]["count"] == 1
             assert metrics["gauges"]["ingest.open_days"] == 1
         finally:
             set_telemetry(Telemetry(enabled=False))

@@ -132,8 +132,8 @@ class TestTelemetryCallback:
         )
         snap = telemetry.metrics.snapshot()
         assert snap["counters"]["aspect.epochs"] == 3
-        assert len(snap["histograms"]["aspect.epoch_loss"]) == 3
-        assert len(snap["histograms"]["aspect.val_loss"]) == 3
+        assert snap["histograms"]["aspect.epoch_loss"]["count"] == 3
+        assert snap["histograms"]["aspect.val_loss"]["count"] == 3
         assert snap["gauges"]["aspect.grad_norm"] > 0.0
 
     def test_defaults_to_the_global_telemetry(self):

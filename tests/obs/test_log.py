@@ -1,0 +1,215 @@
+"""Structured JSON-lines logging: sinks, trace propagation, worker merge."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.log import (
+    JsonlLogSink,
+    attach_log_sink,
+    detach_log_sink,
+    open_structured_log,
+    read_log_jsonl,
+)
+
+
+class TestJsonlLogSink:
+    def test_writes_one_sorted_json_object_per_line(self, tmp_path):
+        path = tmp_path / "logs" / "run.jsonl"  # parent dir created on demand
+        with JsonlLogSink(path) as sink:
+            sink.write({"event": "b", "a": 1})
+            sink.write({"event": "c"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"a": 1, "event": "b"}
+        assert sink.records_written == 2
+
+    def test_accepts_a_writable_stream(self):
+        stream = io.StringIO()
+        sink = JsonlLogSink(stream)
+        sink.write({"event": "x"})
+        sink.close()  # must not close a caller-owned stream
+        assert json.loads(stream.getvalue()) == {"event": "x"}
+
+    def test_non_json_values_are_stringified(self, tmp_path):
+        from datetime import date
+
+        path = tmp_path / "run.jsonl"
+        with JsonlLogSink(path) as sink:
+            sink.write({"event": "day", "day": date(2010, 3, 1)})
+        assert read_log_jsonl(path)[0]["day"] == "2010-03-01"
+
+
+class TestLogEvents:
+    def test_disabled_telemetry_emits_nothing(self, tmp_path):
+        t = Telemetry(enabled=False)
+        sink = attach_log_sink(t, tmp_path / "run.jsonl")
+        t.log_event("anything", key="value")
+        assert sink.records_written == 0
+
+    def test_no_sink_no_capture_drops_records(self):
+        t = Telemetry(enabled=True)
+        t.log_event("orphan")
+        assert t.log_records == []
+
+    def test_records_carry_identity_and_fields(self, tmp_path):
+        t = Telemetry(enabled=True)
+        path = tmp_path / "run.jsonl"
+        with open_structured_log(t, path):
+            with t.span("detector.fit"):
+                t.log_event("checkpoint.saved", level="info", day="2010-03-01")
+        records = read_log_jsonl(path)
+        events = [r["event"] for r in records]
+        assert events == ["span.start", "checkpoint.saved", "span.end"]
+        saved = records[1]
+        assert saved["run_id"] == t.run_id
+        assert saved["day"] == "2010-03-01"
+        assert saved["level"] == "info"
+        # The open span's identity is stamped on the record.
+        assert saved["trace_id"] == records[0]["trace_id"]
+        assert saved["span_id"] == records[0]["span_id"]
+        assert saved["ts"] > 0
+
+    def test_sink_detaches_on_context_exit(self, tmp_path):
+        t = Telemetry(enabled=True)
+        with open_structured_log(t, tmp_path / "run.jsonl"):
+            assert t.log_sink is not None
+        assert t.log_sink is None
+
+    def test_attach_drains_buffered_records(self, tmp_path):
+        t = Telemetry(enabled=True)
+        t.capture_logs = True
+        t.log_event("early", n=1)
+        sink = attach_log_sink(t, tmp_path / "run.jsonl")
+        assert sink.records_written == 1
+        assert t.log_records == []
+        detach_log_sink(t)
+        sink.close()
+
+
+class TestTracePropagation:
+    def test_root_span_starts_a_trace(self):
+        t = Telemetry(enabled=True)
+        with t.span("root"):
+            pass
+        record = t.spans[0]
+        assert record.span_id is not None
+        assert record.trace_id == record.span_id
+        assert record.parent_span_id is None
+
+    def test_children_share_the_root_trace(self):
+        t = Telemetry(enabled=True)
+        with t.span("root"):
+            with t.span("child"):
+                with t.span("leaf"):
+                    pass
+        root = t.spans[0]
+        child = root.children[0]
+        leaf = child.children[0]
+        assert child.trace_id == root.trace_id == leaf.trace_id
+        assert child.parent_span_id == root.span_id
+        assert leaf.parent_span_id == child.span_id
+        assert len({root.span_id, child.span_id, leaf.span_id}) == 3
+
+    def test_sibling_roots_start_distinct_traces(self):
+        t = Telemetry(enabled=True)
+        with t.span("day1"):
+            pass
+        with t.span("day2"):
+            pass
+        assert t.spans[0].trace_id != t.spans[1].trace_id
+
+    def test_parent_context_continues_the_trace(self):
+        # A worker telemetry built from the parent's current_context()
+        # roots its spans under the parent's open span.
+        parent = Telemetry(enabled=True)
+        with parent.span("parallel.train_ensemble"):
+            context = parent.current_context()
+            worker = Telemetry(
+                enabled=True,
+                run_id=parent.run_id,
+                parent_context={k: v for k, v in context.items() if k != "run_id"},
+            )
+            with worker.span("train.aspect"):
+                pass
+            parent.merge(worker.snapshot())
+        ensemble = parent.spans[0]
+        aspect = ensemble.children[0]
+        assert worker.run_id == parent.run_id
+        assert aspect.trace_id == ensemble.trace_id
+        assert aspect.parent_span_id == ensemble.span_id
+
+    def test_span_ids_round_trip_through_snapshot(self):
+        t = Telemetry(enabled=True)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        clone = Telemetry(enabled=True)
+        clone.merge(t.snapshot())
+        merged = clone.spans[0]
+        assert merged.trace_id == t.spans[0].trace_id
+        assert merged.children[0].parent_span_id == t.spans[0].span_id
+
+
+class TestWorkerLogTransport:
+    def test_worker_logs_travel_in_the_snapshot(self, tmp_path):
+        parent = Telemetry(enabled=True)
+        path = tmp_path / "run.jsonl"
+        sink = attach_log_sink(parent, path)
+
+        worker = Telemetry(enabled=True, run_id=parent.run_id)
+        worker.capture_logs = True  # what _train_in_worker sets from the parent
+        worker.log_event("train.epoch", epoch=1)
+
+        parent.merge(worker.snapshot())
+        detach_log_sink(parent)
+        sink.close()
+        records = read_log_jsonl(path)
+        assert [r["event"] for r in records] == ["train.epoch"]
+        assert records[0]["run_id"] == parent.run_id
+
+    def test_log_buffer_is_bounded(self):
+        from repro.obs.telemetry import LOG_BUFFER_CAP
+
+        t = Telemetry(enabled=True)
+        t.capture_logs = True
+        t.log_records = [{"event": "x"}] * LOG_BUFFER_CAP
+        t.log_event("overflow")
+        assert len(t.log_records) == LOG_BUFFER_CAP
+        assert t.logs_dropped == 1
+
+    def test_end_to_end_parallel_training_shares_one_run_id(self, tmp_path):
+        """Ensemble fan-out: every log record carries the parent run_id."""
+        import numpy as np
+
+        from repro.nn.autoencoder import AutoencoderConfig
+        from repro.nn.parallel import AspectTask, train_ensemble
+        from repro.obs import get_telemetry, set_telemetry
+
+        rng = np.random.default_rng(0)
+        config = AutoencoderConfig(encoder_units=(4,), epochs=1, batch_size=8, seed=1)
+        tasks = [
+            AspectTask(name=f"a{i}", data=rng.normal(size=(16, 6)), config=config)
+            for i in range(2)
+        ]
+        parent = Telemetry(enabled=True)
+        path = tmp_path / "run.jsonl"
+        sink = attach_log_sink(parent, path)
+        previous = set_telemetry(parent)
+        try:
+            with parent.span("detector.fit"):
+                train_ensemble(tasks, n_jobs=2)
+        finally:
+            set_telemetry(previous)
+            detach_log_sink(parent)
+            sink.close()
+        records = read_log_jsonl(path)
+        assert records, "expected span events in the structured log"
+        assert {r["run_id"] for r in records} == {parent.run_id}
+        # Every aspect's span tree hangs off the one detector.fit trace.
+        fit_trace = records[0]["trace_id"]
+        aspect_records = [r for r in records if r.get("span") == "train.aspect"]
+        assert len(aspect_records) >= 2
+        assert {r["trace_id"] for r in aspect_records} == {fit_trace}

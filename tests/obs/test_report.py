@@ -142,3 +142,144 @@ class TestFormatSpanTree:
         text = format_span_tree(capture(), min_wall_seconds=10.0)
         assert text.startswith("detector.fit")
         assert "representation" not in text
+
+
+class TestEnvelopeRejection:
+    """S3: the validators must reject malformed documents with a pointer."""
+
+    def run_doc(self):
+        return build_run_report(capture(), training_histories={"http": history()})
+
+    def test_wrong_schema_string(self):
+        doc = self.run_doc()
+        doc["schema"] = "acobe.run_reprot"
+        with pytest.raises(ValueError, match="schema"):
+            validate_run_report(doc)
+        bench = build_bench_report("b", metrics={"seconds": 1.0})
+        bench["schema"] = RUN_REPORT_SCHEMA
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_report(bench)
+
+    @pytest.mark.parametrize("key", ["schema", "version", "name", "generated_at", "meta"])
+    def test_missing_envelope_keys(self, key):
+        doc = self.run_doc()
+        doc.pop(key)
+        with pytest.raises(ValueError, match=key):
+            validate_run_report(doc)
+
+    def test_version_zero_rejected(self):
+        doc = self.run_doc()
+        doc["version"] = 0
+        with pytest.raises(ValueError, match="version"):
+            validate_run_report(doc)
+
+    def test_malformed_span_children_pinpointed(self):
+        doc = self.run_doc()
+        doc["spans"][0]["children"][0]["cpu_seconds"] = "fast"
+        with pytest.raises(
+            ValueError, match=r"spans\[0\].children\[0\].cpu_seconds"
+        ):
+            validate_run_report(doc)
+        doc = self.run_doc()
+        doc["spans"][0]["children"] = ["not-a-span"]
+        with pytest.raises(ValueError, match=r"children\[0\]"):
+            validate_run_report(doc)
+
+    def test_histogram_entry_shape_enforced(self):
+        doc = self.run_doc()
+        doc["metrics"]["histograms"]["train.final_loss"] = [0.25]  # pre-reservoir shape
+        with pytest.raises(ValueError, match="train.final_loss"):
+            validate_run_report(doc)
+
+    def test_bench_params_must_be_a_mapping(self):
+        doc = build_bench_report("b", metrics={"seconds": 1.0})
+        doc["params"] = [1, 2]
+        with pytest.raises(ValueError, match="params"):
+            validate_bench_report(doc)
+
+
+class TestAlerts:
+    def test_build_alert_validates_round_trip(self):
+        from datetime import date
+
+        from repro.obs import ALERT_SCHEMA, build_alert, validate_alert
+
+        alert = build_alert(
+            kind="score-drift",
+            message="aspect drifted",
+            day=date(2010, 3, 1),
+            metric="psi",
+            value=0.4,
+            threshold=0.25,
+            context={"aspect": "logon"},
+        )
+        validate_alert(alert)
+        assert alert["schema"] == ALERT_SCHEMA
+        assert alert["day"] == "2010-03-01"
+
+    def test_build_alert_rejects_unknown_severity(self):
+        from repro.obs import build_alert
+
+        with pytest.raises(ValueError, match="severity"):
+            build_alert(kind="x", message="m", severity="apocalyptic")
+
+    @pytest.mark.parametrize(
+        "mutate, path",
+        [
+            (lambda a: a.update(schema="acobe.alarm"), "schema"),
+            (lambda a: a.update(kind=""), "kind"),
+            (lambda a: a.update(severity="loud"), "severity"),
+            (lambda a: a.update(value="0.4"), "value"),
+            (lambda a: a.pop("context"), "context"),
+        ],
+    )
+    def test_validate_alert_rejects(self, mutate, path):
+        from repro.obs import build_alert, validate_alert
+
+        alert = build_alert(kind="score-drift", message="m")
+        mutate(alert)
+        with pytest.raises(ValueError, match=path):
+            validate_alert(alert)
+
+    def test_run_report_carries_and_validates_alerts(self):
+        from repro.obs import build_alert
+
+        alert = build_alert(kind="ingest-quality", message="late feed")
+        doc = build_run_report(
+            capture(), training_histories={"http": history()}, alerts=[alert]
+        )
+        validate_run_report(doc)
+        assert doc["alerts"] == [alert]
+        # A malformed alert inside the report is pinpointed by index.
+        doc["alerts"].append({"schema": "acobe.alert"})
+        with pytest.raises(ValueError, match=r"alerts\[1\]"):
+            validate_run_report(doc)
+
+    def test_reports_without_alerts_stay_valid(self):
+        doc = build_run_report(capture(), training_histories={"http": history()})
+        assert "alerts" not in doc or doc["alerts"] == []
+        validate_run_report(doc)
+
+
+class TestHistogramSummaries:
+    def test_run_report_summary_has_quantiles(self):
+        t = Telemetry(enabled=True)
+        for v in range(1, 101):
+            t.histogram("streaming.day_seconds").observe(float(v))
+        doc = build_run_report(t)
+        summary = doc["metrics"]["histograms"]["streaming.day_seconds"]["summary"]
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_span_tree_lists_histogram_quantiles(self):
+        t = capture()
+        for v in (0.1, 0.2, 0.3):
+            t.histogram("streaming.day_seconds").observe(v)
+        text = format_span_tree(t)
+        assert "histograms:" in text
+        line = next(
+            l for l in text.splitlines() if l.strip().startswith("streaming.day_seconds")
+        )
+        assert "p50=0.2" in line and "p95=" in line and "p99=" in line

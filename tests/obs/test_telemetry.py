@@ -119,7 +119,12 @@ class TestMetrics:
         snap = t.metrics.snapshot()
         assert snap["counters"] == {"epochs": 5}
         assert snap["gauges"] == {"pool": 2.0}
-        assert snap["histograms"] == {"loss": [0.5, 0.1, 0.3]}
+        entry = snap["histograms"]["loss"]
+        assert entry["values"] == [0.5, 0.1, 0.3]
+        assert entry["count"] == 3
+        assert entry["sum"] == pytest.approx(0.9)
+        assert entry["min"] == 0.1
+        assert entry["max"] == 0.5
         summary = t.metrics.histogram("loss").summary()
         assert summary["count"] == 3
         assert summary["min"] == 0.1
@@ -145,7 +150,11 @@ class TestMetrics:
         snap = registry.snapshot()
         assert snap["counters"] == {"c": 5, "new": 1}
         assert snap["gauges"] == {"g": 9.0}
-        assert snap["histograms"] == {"h": [1.0, 2.0], "h2": [5.0]}
+        # Merge accepts both the dict snapshot format and bare value
+        # lists (older snapshots / hand-built payloads).
+        assert snap["histograms"]["h"]["values"] == [1.0, 2.0]
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h2"]["values"] == [5.0]
 
 
 class TestSnapshotMerge:
@@ -208,3 +217,101 @@ class TestGlobalAndEnv:
         finally:
             if not was_tracing and tracemalloc.is_tracing():
                 tracemalloc.stop()
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        import numpy as np
+
+        from repro.obs.telemetry import percentile
+
+        values = sorted([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+    def test_median_for_odd_and_even_lengths(self):
+        from repro.obs.telemetry import percentile
+
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_rejects_empty_and_bad_q(self):
+        from repro.obs.telemetry import percentile
+
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 101.0)
+
+
+class TestHistogramReservoir:
+    def test_exact_below_the_cap(self):
+        from repro.obs.telemetry import Histogram
+
+        h = Histogram(cap=100)
+        for v in range(50):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["values"] == [float(v) for v in range(50)]
+        assert snap["count"] == 50
+
+    def test_memory_bounded_and_exact_stats_above_the_cap(self):
+        from repro.obs.telemetry import Histogram
+
+        cap, n = 64, 10_000
+        h = Histogram(cap=cap, seed=3)
+        for v in range(n):
+            h.observe(float(v))
+        assert len(h.values) == cap  # the regression this guards against
+        summary = h.summary()
+        assert summary["count"] == n
+        assert summary["min"] == 0.0
+        assert summary["max"] == float(n - 1)
+        assert summary["mean"] == pytest.approx((n - 1) / 2.0)
+        # The reservoir is a uniform sample, so p50 lands near the truth.
+        assert summary["p50"] == pytest.approx((n - 1) / 2.0, rel=0.25)
+
+    def test_reservoir_is_deterministic_for_a_given_seed(self):
+        from repro.obs.telemetry import Histogram
+
+        def run(seed):
+            h = Histogram(cap=16, seed=seed)
+            for v in range(1000):
+                h.observe(float(v))
+            return list(h.values)
+
+        assert run(5) == run(5)  # same seed, same sample — resumable runs agree
+        assert run(5) != run(6)
+
+    def test_registry_seeds_are_name_derived(self):
+        # Two registries (two processes) sampling the same series agree.
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in range(500):
+            a.histogram("day_seconds").observe(float(v))
+            b.histogram("day_seconds").observe(float(v))
+        assert a.histogram("day_seconds").cap > 0
+        assert list(a.histogram("day_seconds").values) == list(
+            b.histogram("day_seconds").values
+        )
+
+    def test_rejects_bad_cap(self):
+        from repro.obs.telemetry import Histogram
+
+        with pytest.raises(ValueError, match="cap"):
+            Histogram(cap=0)
+
+    def test_merge_accepts_capped_snapshots(self):
+        from repro.obs.telemetry import Histogram
+
+        worker = Histogram(cap=8, seed=1)
+        for v in range(100):
+            worker.observe(float(v))
+        parent = Histogram(cap=8, seed=1)
+        parent.observe(-1.0)
+        parent.merge(worker.snapshot())
+        assert parent.count == 101
+        assert parent.min == -1.0
+        assert parent.max == 99.0
+        assert len(parent.values) == 8

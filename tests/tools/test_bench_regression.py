@@ -1,0 +1,209 @@
+"""The bench-regression gate must pass committed baselines and catch slowdowns."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.diff import (
+    diff_directories,
+    diff_reports,
+    flatten_metrics,
+    format_diff,
+    metric_direction,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+GATE_PATH = REPO_ROOT / "tools" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench(metrics, name="ingest_throughput"):
+    return {
+        "schema": "acobe.bench",
+        "version": 1,
+        "name": name,
+        "generated_at": "2026-08-06T00:00:00Z",
+        "meta": {},
+        "params": {},
+        "metrics": metrics,
+    }
+
+
+class TestMetricDirection:
+    def test_polarity_heuristics(self):
+        assert metric_direction("serial_seconds") == "lower"
+        assert metric_direction("peak_bytes") == "lower"
+        assert metric_direction("telemetry_overhead_pct") == "lower"
+        assert metric_direction("events_per_sec") == "higher"
+        assert metric_direction("speedup") == "higher"
+        assert metric_direction("auc") == "higher"
+        assert metric_direction("mystery_number") is None
+
+
+class TestDiffReports:
+    def test_2x_slowdown_regresses(self):
+        baseline = bench({"ingest_seconds": 1.0})
+        current = bench({"ingest_seconds": 2.0})
+        diff = diff_reports(baseline, current, tolerance=0.5)
+        assert [d.status for d in diff.deltas] == ["regression"]
+        assert not diff.ok
+
+    def test_within_tolerance_is_ok(self):
+        diff = diff_reports(
+            bench({"ingest_seconds": 1.0}), bench({"ingest_seconds": 1.4}),
+            tolerance=0.5,
+        )
+        assert diff.ok
+        assert [d.status for d in diff.deltas] == ["ok"]
+
+    def test_higher_is_better_regresses_downward(self):
+        diff = diff_reports(
+            bench({"events_per_sec": 1000.0}), bench({"events_per_sec": 400.0}),
+            tolerance=0.5,
+        )
+        assert [d.status for d in diff.deltas] == ["regression"]
+        improved = diff_reports(
+            bench({"events_per_sec": 1000.0}), bench({"events_per_sec": 2000.0}),
+            tolerance=0.5,
+        )
+        assert [d.status for d in improved.deltas] == ["improved"]
+
+    def test_bool_parity_flip_regresses(self):
+        ok = diff_reports(bench({"parity": True}), bench({"parity": True}))
+        assert ok.ok
+        flipped = diff_reports(bench({"parity": True}), bench({"parity": False}))
+        assert not flipped.ok
+
+    def test_unknown_direction_is_informational(self):
+        diff = diff_reports(
+            bench({"mystery": 1.0}), bench({"mystery": 100.0}), tolerance=0.1
+        )
+        assert [d.status for d in diff.deltas] == ["info"]
+        assert diff.ok
+
+    def test_missing_metric_fails_the_gate(self):
+        diff = diff_reports(
+            bench({"ingest_seconds": 1.0, "events_per_sec": 10.0}),
+            bench({"events_per_sec": 10.0}),
+        )
+        assert [d.status for d in diff.regressions] == ["missing"]
+
+    def test_new_metric_is_not_a_regression(self):
+        diff = diff_reports(
+            bench({"a_seconds": 1.0}), bench({"a_seconds": 1.0, "b_seconds": 2.0})
+        )
+        assert diff.ok
+
+    def test_zero_baseline_never_divides(self):
+        diff = diff_reports(bench({"x_seconds": 0.0}), bench({"x_seconds": 5.0}))
+        assert [d.status for d in diff.deltas] == ["info"]
+
+    def test_run_report_flattening(self):
+        report = {
+            "schema": "acobe.run_report",
+            "metrics": {
+                "counters": {"streaming.days_total": 10},
+                "gauges": {"pool": 2.0},
+                "histograms": {
+                    "day_seconds": {"summary": {"p50": 0.1, "p95": 0.2, "count": 5}}
+                },
+            },
+            "spans": [
+                {
+                    "name": "fit",
+                    "wall_seconds": 2.0,
+                    "children": [{"name": "train", "wall_seconds": 1.5}],
+                }
+            ],
+        }
+        flat = flatten_metrics(report)
+        assert flat["counters.streaming.days_total"] == 10
+        assert flat["day_seconds.p50"] == 0.1
+        assert flat["span.fit.wall_seconds"] == 2.0
+        assert flat["span.fit.train.wall_seconds"] == 1.5
+
+
+class TestDirectoriesAndGate:
+    def test_committed_baselines_pass_against_themselves(self, gate, capsys):
+        assert RESULTS_DIR.is_dir()
+        code = gate.main([str(RESULTS_DIR), str(RESULTS_DIR), "--tolerance", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "0 regression(s)" in out
+
+    def test_synthetic_2x_slowdown_fails_ci(self, gate, tmp_path, capsys):
+        """The acceptance contract: a 2x slowdown exits non-zero."""
+        current_dir = tmp_path / "current"
+        current_dir.mkdir()
+        slowed = 0
+        for path in RESULTS_DIR.glob("BENCH_*.json"):
+            document = json.loads(path.read_text())
+            for name, value in document["metrics"].items():
+                if metric_direction(name) == "lower" and isinstance(value, (int, float)):
+                    document["metrics"][name] = value * 2.0
+                    slowed += 1
+            (current_dir / path.name).write_text(json.dumps(document))
+        assert slowed > 0, "baselines must contain lower-is-better metrics"
+        code = gate.main([str(RESULTS_DIR), str(current_dir), "--tolerance", "0.5"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.err
+
+    def test_missing_benchmark_file_fails(self, gate, tmp_path, capsys):
+        baseline_dir = tmp_path / "base"
+        current_dir = tmp_path / "cur"
+        baseline_dir.mkdir()
+        current_dir.mkdir()
+        (baseline_dir / "BENCH_x.json").write_text(json.dumps(bench({"t_seconds": 1.0})))
+        code = gate.main([str(baseline_dir), str(current_dir)])
+        assert code == 1
+        assert "no counterpart" in capsys.readouterr().err
+
+    def test_single_file_mode(self, gate, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(bench({"t_seconds": 1.0})))
+        b.write_text(json.dumps(bench({"t_seconds": 1.1})))
+        assert gate.main([str(a), str(b)]) == 0
+
+    def test_diff_directories_reports_problems(self):
+        diffs, problems = diff_directories(
+            RESULTS_DIR, RESULTS_DIR, tolerance=0.5
+        )
+        assert problems == []
+        assert len(diffs) == len(list(RESULTS_DIR.glob("BENCH_*.json")))
+        assert all(d.ok for d in diffs)
+
+    def test_format_diff_summarises(self):
+        diff = diff_reports(bench({"t_seconds": 1.0}), bench({"t_seconds": 3.0}))
+        text = format_diff([diff])
+        assert "regression" in text
+        assert "1 regression(s)" in text
+        verbose = format_diff([diff], verbose=True)
+        assert "t_seconds" in verbose
+
+
+class TestCliReportDiff:
+    def test_repro_report_diff_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(bench({"t_seconds": 1.0})))
+        b.write_text(json.dumps(bench({"t_seconds": 4.0})))
+        assert main(["report", "diff", str(a), str(a)]) == 0
+        assert main(["report", "diff", str(a), str(b)]) == 1
+        captured = capsys.readouterr()
+        assert "PASS" in captured.out
+        assert "FAIL" in captured.err

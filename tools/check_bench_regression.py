@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""CI gate: fail when benchmark envelopes regress past a tolerance band.
+
+Compares every ``BENCH_*.json`` in a baseline directory against its
+counterpart in a current directory using :mod:`repro.obs.diff`, and
+exits non-zero when any metric regresses (or a whole benchmark
+disappears).  CI copies the committed ``benchmarks/results`` aside
+before re-running the benches, then gates the fresh results against
+that copy::
+
+    python tools/check_bench_regression.py bench-baselines benchmarks/results \
+        --tolerance 1.5
+
+``--tolerance`` is fractional slack around the baseline: 1.5 means a
+lower-is-better metric may grow to 2.5x baseline before failing --
+wide on purpose, because shared CI runners jitter and the gate exists
+to catch step changes, not 10% noise.
+
+Two single files can be compared directly as well::
+
+    python tools/check_bench_regression.py old/BENCH_x.json new/BENCH_x.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.diff import (  # noqa: E402
+    diff_directories,
+    diff_reports,
+    format_diff,
+    load_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline directory (or single report file)")
+    parser.add_argument("current", help="current directory (or single report file)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="fractional no-movement band around the baseline "
+                             "(default 0.5 = regress past 1.5x)")
+    parser.add_argument("--pattern", default="BENCH_*.json",
+                        help="filename glob matched in directory mode")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every metric, not just movements")
+    args = parser.parse_args(argv)
+
+    baseline = Path(args.baseline)
+    current = Path(args.current)
+    problems = []
+    if baseline.is_dir():
+        diffs, problems = diff_directories(
+            baseline, current, tolerance=args.tolerance, pattern=args.pattern)
+    else:
+        diffs = [diff_reports(load_report(baseline), load_report(current),
+                              tolerance=args.tolerance, name=current.name)]
+
+    print(format_diff(diffs, verbose=args.verbose))
+    for problem in problems:
+        print(f"! {problem}", file=sys.stderr)
+
+    regressions = [delta for diff in diffs for delta in diff.regressions]
+    if regressions or problems:
+        print(f"FAIL: {len(regressions)} regression(s), "
+              f"{len(problems)} structural problem(s)", file=sys.stderr)
+        return 1
+    print("PASS: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

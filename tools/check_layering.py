@@ -37,6 +37,18 @@ FORBIDDEN: Dict[str, Tuple[str, ...]] = {
                     "repro.testing"),
     "repro.obs": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                   "repro.features", "repro.datagen", "repro.logs", "repro.testing"),
+    # Inside the observability package the arrows also point one way:
+    # telemetry is the foundation, log/report sit on it, export/drift/diff
+    # on those.  Keeps the monitoring plane greppable bottom-up.
+    "repro.obs.telemetry": ("repro.obs.log", "repro.obs.export", "repro.obs.drift",
+                            "repro.obs.report", "repro.obs.diff"),
+    "repro.obs.log": ("repro.obs.export", "repro.obs.drift", "repro.obs.report",
+                      "repro.obs.diff"),
+    "repro.obs.report": ("repro.obs.export", "repro.obs.drift", "repro.obs.log",
+                         "repro.obs.diff"),
+    "repro.obs.export": ("repro.obs.drift", "repro.obs.diff"),
+    "repro.obs.drift": ("repro.obs.export", "repro.obs.diff"),
+    "repro.obs.diff": ("repro.obs.export", "repro.obs.drift", "repro.obs.log"),
     "repro.logs": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                    "repro.features", "repro.datagen", "repro.obs", "repro.testing"),
     "repro.nn": ("repro.core", "repro.ingest", "repro.eval", "repro.cli",
