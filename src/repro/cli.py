@@ -128,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--top", type=int, default=10, help="list length to print")
     p_det.add_argument("--seed", type=int, default=None)
     p_det.add_argument(
+        "--dtype", default=None, choices=("float32", "float64"),
+        help="compute dtype for autoencoder training/scoring (default: the "
+        "preset's); float32 roughly halves memory traffic but is NOT "
+        "bit-comparable with float64 runs -- see docs/PERFORMANCE.md",
+    )
+    p_det.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for ensemble training (1 = serial, 0 = all cores); "
         "results are identical at any value",
@@ -171,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="deviation-representation models only (streaming requirement)",
     )
     p_str.add_argument("--seed", type=int, default=None)
+    p_str.add_argument(
+        "--dtype", default=None, choices=("float32", "float64"),
+        help="compute dtype for autoencoder training/scoring (default: the "
+        "preset's); ignored on --resume, which keeps the saved model's dtype",
+    )
     p_str.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the initial ensemble training",
@@ -241,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="deviation-representation models only (streaming requirement)",
     )
     p_ing.add_argument("--seed", type=int, default=None)
+    p_ing.add_argument(
+        "--dtype", default=None, choices=("float32", "float64"),
+        help="compute dtype for autoencoder training/scoring (default: the "
+        "preset's); ignored on --resume, which keeps the saved model's dtype",
+    )
     p_ing.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the initial ensemble training",
@@ -413,6 +429,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         train_stride=config.train_stride,
         n_jobs=args.jobs,
         n_shards=n_shards,
+        dtype=args.dtype,
     )
     if args.model in ("acobe", "no-group", "all-in-one"):
         kwargs.update(window=config.window, matrix_days=config.matrix_days)
@@ -549,6 +566,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
             train_stride=config.train_stride,
             n_jobs=args.jobs,
             n_shards=n_shards,
+            dtype=args.dtype,
         )
         print(f"fitting {model.config.name} on {len(cube.users)} users ...")
         model.fit(cube, benchmark.group_map, benchmark.train_days)
@@ -848,6 +866,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             train_stride=config.train_stride,
             n_jobs=args.jobs,
             n_shards=n_shards,
+            dtype=args.dtype,
         )
         print(f"fitting {model.config.name} on {len(users)} users ...")
         model.fit(cube, group_map, train_days)

@@ -366,9 +366,17 @@ class CompoundBehaviorModel:
 # ---------------------------------------------------------------------------
 
 
-def _zoo_model(config: ModelConfig, ae_config: Optional[AutoencoderConfig]) -> CompoundBehaviorModel:
+def _zoo_model(
+    config: ModelConfig,
+    ae_config: Optional[AutoencoderConfig],
+    dtype: Optional[str] = None,
+) -> CompoundBehaviorModel:
     if ae_config is not None:
         config = replace(config, autoencoder=ae_config)
+    if dtype is not None:
+        # Compute-dtype override (CLI --dtype / presets): float32 halves
+        # memory traffic but is not bit-comparable with float64 runs.
+        config = replace(config, autoencoder=replace(config.autoencoder, dtype=dtype))
     return CompoundBehaviorModel(config)
 
 
@@ -380,6 +388,7 @@ def make_acobe(
     train_stride: int = 1,
     n_jobs: int = 1,
     n_shards: int = 1,
+    dtype: Optional[str] = None,
 ) -> CompoundBehaviorModel:
     """ACOBE as evaluated in Section V (N=3, omega=30)."""
     return _zoo_model(
@@ -393,6 +402,7 @@ def make_acobe(
             n_shards=n_shards,
         ),
         ae_config,
+        dtype=dtype,
     )
 
 
@@ -404,6 +414,7 @@ def make_no_group(
     train_stride: int = 1,
     n_jobs: int = 1,
     n_shards: int = 1,
+    dtype: Optional[str] = None,
 ) -> CompoundBehaviorModel:
     """The No-Group ablation: ACOBE without the group-behaviour block."""
     return _zoo_model(
@@ -418,6 +429,7 @@ def make_no_group(
             n_shards=n_shards,
         ),
         ae_config,
+        dtype=dtype,
     )
 
 
@@ -427,6 +439,7 @@ def make_one_day(
     train_stride: int = 1,
     n_jobs: int = 1,
     n_shards: int = 1,
+    dtype: Optional[str] = None,
 ) -> CompoundBehaviorModel:
     """The 1-Day ablation: normalized single-day occurrences."""
     return _zoo_model(
@@ -441,6 +454,7 @@ def make_one_day(
             n_shards=n_shards,
         ),
         ae_config,
+        dtype=dtype,
     )
 
 
@@ -452,6 +466,7 @@ def make_all_in_one(
     train_stride: int = 1,
     n_jobs: int = 1,
     n_shards: int = 1,
+    dtype: Optional[str] = None,
 ) -> CompoundBehaviorModel:
     """The All-in-1 ablation: one autoencoder over every feature."""
     return _zoo_model(
@@ -466,6 +481,7 @@ def make_all_in_one(
             n_shards=n_shards,
         ),
         ae_config,
+        dtype=dtype,
     )
 
 
@@ -475,6 +491,7 @@ def make_baseline(
     train_stride: int = 1,
     n_jobs: int = 1,
     n_shards: int = 1,
+    dtype: Optional[str] = None,
 ) -> CompoundBehaviorModel:
     """Liu et al.'s Baseline (fit it with the coarse-grained cube).
 
@@ -496,6 +513,7 @@ def make_baseline(
             n_shards=n_shards,
         ),
         ae_config,
+        dtype=dtype,
     )
 
 
@@ -505,6 +523,7 @@ def make_base_ff(
     train_stride: int = 1,
     n_jobs: int = 1,
     n_shards: int = 1,
+    dtype: Optional[str] = None,
 ) -> CompoundBehaviorModel:
     """Base-FF: the Baseline framework on ACOBE's fine-grained features.
 
@@ -524,4 +543,5 @@ def make_base_ff(
             n_shards=n_shards,
         ),
         ae_config,
+        dtype=dtype,
     )

@@ -14,6 +14,15 @@ The protocol is duck-typed and deliberately tiny:
 * ``source.rows(indices)`` -- gather the given row indices as a dense
   ``(len(indices), dim)`` float array; called once per mini-batch.
 
+Because a source may assemble rows from arbitrary backing storage, the
+gather is inherently allocating; on the allocation-free kernel path
+(:mod:`repro.nn.workspace`) the training loop therefore keeps calling
+``rows`` as-is while routing everything downstream of the gather
+through the buffer arena.  Sources backed by one dense array can
+additionally accept ``rows(indices, out=...)`` to fill a caller-owned
+buffer (as :class:`ArrayRowSource` does), which composes with the arena
+without being required by the protocol.
+
 Shuffling, validation splits and early stopping all work unchanged:
 the training loop permutes *indices* and asks the source for each
 mini-batch, which is bit-identical to permuting a dense array and
@@ -80,8 +89,13 @@ class ArrayRowSource:
     def dim(self) -> int:
         return self._array.shape[1]
 
-    def rows(self, indices: Sequence[int]) -> np.ndarray:
-        return self._array[np.asarray(indices, dtype=np.intp)]
+    def rows(self, indices: Sequence[int], out: np.ndarray = None) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.intp)
+        if out is not None:
+            # np.take(..., out=) is bit-identical to fancy indexing.
+            np.take(self._array, indices, axis=0, out=out)
+            return out
+        return self._array[indices]
 
     def batches(self, batch_size: int = 1024) -> Iterator[np.ndarray]:
         n = len(self)

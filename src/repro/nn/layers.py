@@ -13,6 +13,29 @@ Gradients are *overwritten* (not accumulated) on each backward call, which
 matches how the :class:`repro.nn.network.Sequential` training loop uses
 them: one backward per mini-batch followed immediately by an optimizer
 step.
+
+Allocation-free kernel path
+---------------------------
+
+Both methods accept an optional ``ws`` -- a
+:class:`repro.nn.workspace.Workspace` buffer arena.  Without one, every
+intermediate is freshly allocated (the legacy reference path).  With
+one, the same arithmetic runs through ``out=``-parameter ufunc and
+``np.matmul`` kernels over recycled scratch buffers: the operations,
+their order and their operand dtypes are unchanged, so float64 results
+are **bit-identical** to the legacy path (pinned by
+``tests/nn/test_kernel_equivalence.py``) while the steady-state loop
+performs zero array allocation.
+
+Two extra rules apply on the kernel path only:
+
+* a gradient passed to ``backward(grad, ws)`` may be **mutated in
+  place** and/or returned as ``dL/d(input)``; callers must treat the
+  buffer as consumed (the training loop does);
+* arrays returned from ``forward``/``backward`` live in the arena and
+  are only valid until the workspace's next generation
+  (:meth:`~repro.nn.workspace.Workspace.reset`); callers that keep
+  results must copy them out (``Sequential.predict`` does).
 """
 
 from __future__ import annotations
@@ -22,16 +45,24 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.nn.initializers import get_initializer
+from repro.nn.workspace import Workspace
 
 
 class Parameter:
-    """A trainable tensor together with its current gradient."""
+    """A trainable tensor together with its current gradient.
+
+    ``dtype`` is honoured at construction, so building a float32 network
+    allocates float32 storage directly instead of allocating float64 and
+    re-allocating in :meth:`Layer.cast` (the cast producing the same
+    bits either way -- ``asarray(value, dtype)`` is the same conversion
+    ``astype`` performs).
+    """
 
     __slots__ = ("name", "value", "grad")
 
-    def __init__(self, name: str, value: np.ndarray):
+    def __init__(self, name: str, value: np.ndarray, dtype=np.float64):
         self.name = name
-        self.value = np.asarray(value, dtype=np.float64)
+        self.value = np.asarray(value, dtype=np.dtype(dtype))
         self.grad = np.zeros_like(self.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -44,25 +75,34 @@ class Layer:
     #: set by Sequential.build(); layers that need no build keep it True
     built = True
 
-    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+    def build(self, input_dim: int, rng: np.random.Generator, dtype=np.float64) -> int:
         """Allocate parameters for ``input_dim`` inputs; return output dim."""
-        del rng
+        del rng, dtype
         return input_dim
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         raise NotImplementedError
 
     def parameters(self) -> Iterable[Parameter]:
         return ()
 
     def cast(self, dtype: np.dtype) -> None:
-        """Convert trainable state to ``dtype`` (float32/float64)."""
+        """Convert trainable state to ``dtype`` (float32/float64).
+
+        A no-op (no reallocation) for state already stored as ``dtype``,
+        which since :class:`Parameter` honours the build dtype is the
+        common case.
+        """
         for p in self.parameters():
-            p.value = p.value.astype(dtype)
-            p.grad = p.grad.astype(dtype)
+            if p.value.dtype != dtype:
+                p.value = p.value.astype(dtype)
+            if p.grad.dtype != dtype:
+                p.grad = p.grad.astype(dtype)
 
     # State dictionaries are used by repro.nn.serialization.
     def state_dict(self) -> dict:
@@ -108,30 +148,54 @@ class Dense(Layer):
         self.bias: Optional[Parameter] = None
         self._x: Optional[np.ndarray] = None
 
-    def build(self, input_dim: int, rng: np.random.Generator) -> int:
-        self.weight = Parameter("weight", self._kernel_init((input_dim, self.units), rng))
+    def build(self, input_dim: int, rng: np.random.Generator, dtype=np.float64) -> int:
+        self.weight = Parameter(
+            "weight", self._kernel_init((input_dim, self.units), rng), dtype=dtype
+        )
         if self.use_bias:
-            self.bias = Parameter("bias", self._bias_init((1, self.units), rng).reshape(self.units))
+            self.bias = Parameter(
+                "bias", self._bias_init((1, self.units), rng).reshape(self.units), dtype=dtype
+            )
         self.built = True
         return self.units
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         del training
         if not self.built:
             raise RuntimeError("Dense layer used before build()")
         self._x = x
-        out = x @ self.weight.value
+        if ws is not None and x.dtype != self.weight.value.dtype:
+            ws = None  # mixed dtypes promote; let the legacy expressions do it
+        if ws is None:
+            out = x @ self.weight.value
+            if self.use_bias:
+                out = out + self.bias.value
+            return out
+        out = ws.acquire((x.shape[0], self.units), x.dtype)
+        np.matmul(x, self.weight.value, out=out)
         if self.use_bias:
-            out = out + self.bias.value
+            np.add(out, self.bias.value, out=out)
         return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward() called before forward()")
-        self.weight.grad = self._x.T @ grad_out
+        if ws is None or grad_out.dtype != self._x.dtype:
+            # Mixed dtypes (a float32 net whose gradient was promoted to
+            # float64 upstream, e.g. by LeakyReLU) take the legacy path:
+            # out= kernels would change the accumulation dtype.
+            self.weight.grad = self._x.T @ grad_out
+            if self.use_bias:
+                self.bias.grad = grad_out.sum(axis=0)
+            return grad_out @ self.weight.value.T
+        np.matmul(self._x.T, grad_out, out=self.weight.grad)
         if self.use_bias:
-            self.bias.grad = grad_out.sum(axis=0)
-        return grad_out @ self.weight.value.T
+            grad_out.sum(axis=0, out=self.bias.grad)
+        grad_in = ws.acquire(self._x.shape, grad_out.dtype)
+        np.matmul(grad_out, self.weight.value.T, out=grad_in)
+        return grad_in
 
     def parameters(self) -> Iterable[Parameter]:
         if not self.built:
@@ -164,48 +228,112 @@ class BatchNormalization(Layer):
         self.running_var: Optional[np.ndarray] = None
         self._cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
-    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+    def build(self, input_dim: int, rng: np.random.Generator, dtype=np.float64) -> int:
         del rng
-        self.gamma = Parameter("gamma", np.ones(input_dim))
-        self.beta = Parameter("beta", np.zeros(input_dim))
-        self.running_mean = np.zeros(input_dim)
-        self.running_var = np.ones(input_dim)
+        dt = np.dtype(dtype)
+        self.gamma = Parameter("gamma", np.ones(input_dim), dtype=dt)
+        self.beta = Parameter("beta", np.zeros(input_dim), dtype=dt)
+        self.running_mean = np.zeros(input_dim, dtype=dt)
+        self.running_var = np.ones(input_dim, dtype=dt)
         self.built = True
         return input_dim
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         if not self.built:
             raise RuntimeError("BatchNormalization layer used before build()")
+        if ws is not None and x.dtype != self.gamma.value.dtype:
+            ws = None  # mixed dtypes promote; let the legacy expressions do it
+        if ws is None:
+            if training:
+                mean = x.mean(axis=0)
+                var = x.var(axis=0)
+                self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+                self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            else:
+                mean = self.running_mean
+                var = self.running_var
+            inv_std = 1.0 / np.sqrt(var + self.epsilon)
+            x_hat = (x - mean) * inv_std
+            self._cache = (x_hat, inv_std, np.asarray(training))
+            return self.gamma.value * x_hat + self.beta.value
+        d = x.shape[1]
         if training:
-            mean = x.mean(axis=0)
-            var = x.var(axis=0)
-            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
-            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            mean = ws.acquire((d,), x.dtype)
+            var = ws.acquire((d,), x.dtype)
+            x.mean(axis=0, out=mean)
+            x.var(axis=0, out=var)
+            # running = momentum * running + (1 - momentum) * batch_stat,
+            # evaluated as the legacy path does: two products, one add.
+            scratch = ws.acquire((d,), x.dtype)
+            np.multiply(self.running_mean, self.momentum, out=self.running_mean)
+            np.multiply(mean, 1 - self.momentum, out=scratch)
+            np.add(self.running_mean, scratch, out=self.running_mean)
+            np.multiply(self.running_var, self.momentum, out=self.running_var)
+            np.multiply(var, 1 - self.momentum, out=scratch)
+            np.add(self.running_var, scratch, out=self.running_var)
         else:
             mean = self.running_mean
             var = self.running_var
-        inv_std = 1.0 / np.sqrt(var + self.epsilon)
-        x_hat = (x - mean) * inv_std
+        inv_std = ws.acquire((d,), x.dtype)
+        np.add(var, self.epsilon, out=inv_std)
+        np.sqrt(inv_std, out=inv_std)
+        np.divide(1.0, inv_std, out=inv_std)
+        x_hat = ws.acquire(x.shape, x.dtype)
+        np.subtract(x, mean, out=x_hat)
+        np.multiply(x_hat, inv_std, out=x_hat)
         self._cache = (x_hat, inv_std, np.asarray(training))
-        return self.gamma.value * x_hat + self.beta.value
+        out = ws.acquire(x.shape, x.dtype)
+        np.multiply(self.gamma.value, x_hat, out=out)
+        np.add(out, self.beta.value, out=out)
+        return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward() called before forward()")
         x_hat, inv_std, was_training = self._cache
         n = grad_out.shape[0]
-        self.gamma.grad = (grad_out * x_hat).sum(axis=0)
-        self.beta.grad = grad_out.sum(axis=0)
-        grad_xhat = grad_out * self.gamma.value
+        if ws is not None and grad_out.dtype != self.gamma.value.dtype:
+            ws = None  # promoted gradient: legacy path keeps dtypes identical
+        if ws is None:
+            self.gamma.grad = (grad_out * x_hat).sum(axis=0)
+            self.beta.grad = grad_out.sum(axis=0)
+            grad_xhat = grad_out * self.gamma.value
+            if not bool(was_training):
+                # Inference statistics are constants w.r.t. the input.
+                return grad_xhat * inv_std
+            # Full batch-norm backward: mean and variance depend on the batch.
+            return (
+                inv_std
+                / n
+                * (n * grad_xhat - grad_xhat.sum(axis=0) - x_hat * (grad_xhat * x_hat).sum(axis=0))
+            )
+        d = grad_out.shape[1]
+        tmp = ws.acquire(grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, x_hat, out=tmp)
+        tmp.sum(axis=0, out=self.gamma.grad)
+        grad_out.sum(axis=0, out=self.beta.grad)
+        grad_xhat = ws.acquire(grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, self.gamma.value, out=grad_xhat)
         if not bool(was_training):
-            # Inference statistics are constants w.r.t. the input.
-            return grad_xhat * inv_std
-        # Full batch-norm backward: mean and variance depend on the batch.
-        return (
-            inv_std
-            / n
-            * (n * grad_xhat - grad_xhat.sum(axis=0) - x_hat * (grad_xhat * x_hat).sum(axis=0))
-        )
+            np.multiply(grad_xhat, inv_std, out=grad_xhat)
+            return grad_xhat
+        # Same expression as the legacy path, one out= kernel per node:
+        # inv_std/n * (n*gx - gx.sum(0) - x_hat * (gx*x_hat).sum(0))
+        s1 = ws.acquire((d,), grad_out.dtype)
+        grad_xhat.sum(axis=0, out=s1)
+        np.multiply(grad_xhat, x_hat, out=tmp)
+        s2 = ws.acquire((d,), grad_out.dtype)
+        tmp.sum(axis=0, out=s2)
+        scale = ws.acquire((d,), grad_out.dtype)
+        np.divide(inv_std, n, out=scale)
+        np.multiply(grad_xhat, n, out=grad_xhat)
+        np.subtract(grad_xhat, s1, out=grad_xhat)
+        np.multiply(x_hat, s2, out=tmp)
+        np.subtract(grad_xhat, tmp, out=grad_xhat)
+        np.multiply(scale, grad_xhat, out=grad_xhat)
+        return grad_xhat
 
     def parameters(self) -> Iterable[Parameter]:
         if not self.built:
@@ -214,8 +342,10 @@ class BatchNormalization(Layer):
 
     def cast(self, dtype: np.dtype) -> None:
         super().cast(dtype)
-        self.running_mean = self.running_mean.astype(dtype)
-        self.running_var = self.running_var.astype(dtype)
+        if self.running_mean.dtype != dtype:
+            self.running_mean = self.running_mean.astype(dtype)
+        if self.running_var.dtype != dtype:
+            self.running_var = self.running_var.astype(dtype)
 
     def state_dict(self) -> dict:
         state = super().state_dict()
@@ -235,15 +365,31 @@ class ReLU(Layer):
     def __init__(self) -> None:
         self._mask: Optional[np.ndarray] = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         del training
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        if ws is None:
+            self._mask = x > 0
+            return np.where(self._mask, x, 0.0)
+        mask = ws.acquire(x.shape, np.bool_)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
+        # where(mask, x, 0.0) without np.where: zero-fill, then copy the
+        # kept elements -- identical selection semantics (incl. +0.0 in
+        # the rejected slots).
+        out = ws.acquire(x.shape, x.dtype)
+        out.fill(0.0)
+        np.copyto(out, x, where=mask)
+        return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward() called before forward()")
-        return grad_out * self._mask
+        if ws is None:
+            return grad_out * self._mask
+        np.multiply(grad_out, self._mask, out=grad_out)
+        return grad_out
 
 
 class LeakyReLU(Layer):
@@ -253,15 +399,35 @@ class LeakyReLU(Layer):
         self.alpha = alpha
         self._mask: Optional[np.ndarray] = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         del training
-        self._mask = x > 0
-        return np.where(self._mask, x, self.alpha * x)
+        if ws is None:
+            self._mask = x > 0
+            return np.where(self._mask, x, self.alpha * x)
+        mask = ws.acquire(x.shape, np.bool_)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
+        out = ws.acquire(x.shape, x.dtype)
+        np.multiply(x, self.alpha, out=out)
+        np.copyto(out, x, where=mask)
+        return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward() called before forward()")
-        return grad_out * np.where(self._mask, 1.0, self.alpha)
+        if ws is None:
+            return grad_out * np.where(self._mask, 1.0, self.alpha)
+        # np.where over two python-float scalars yields float64 whatever
+        # the compute dtype; reproduce that exactly so the kernel path
+        # promotes (or not) the same way the legacy path does.
+        slope = ws.acquire(grad_out.shape, np.float64)
+        slope.fill(self.alpha)
+        np.copyto(slope, 1.0, where=self._mask)
+        out = ws.acquire(grad_out.shape, np.result_type(grad_out.dtype, slope.dtype))
+        np.multiply(grad_out, slope, out=out)
+        return out
 
 
 class Sigmoid(Layer):
@@ -270,21 +436,47 @@ class Sigmoid(Layer):
     def __init__(self) -> None:
         self._out: Optional[np.ndarray] = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         del training
-        # Numerically stable piecewise formulation.
-        out = np.empty_like(x)
-        pos = x >= 0
-        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-        ex = np.exp(x[~pos])
-        out[~pos] = ex / (1.0 + ex)
+        if ws is None:
+            # Numerically stable piecewise formulation.
+            out = np.empty_like(x)
+            pos = x >= 0
+            out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+            ex = np.exp(x[~pos])
+            out[~pos] = ex / (1.0 + ex)
+            self._out = out
+            return out
+        # Same piecewise values without fancy indexing: exp(-|x|) equals
+        # exp(-x) on the positive branch and exp(x) on the negative one,
+        # so each element sees exactly the legacy arithmetic.
+        t = ws.acquire(x.shape, x.dtype)
+        np.abs(x, out=t)
+        np.negative(t, out=t)
+        np.exp(t, out=t)
+        den = ws.acquire(x.shape, x.dtype)
+        np.add(t, 1.0, out=den)
+        out = ws.acquire(x.shape, x.dtype)
+        np.divide(t, den, out=out)  # negative branch: e^x / (1 + e^x)
+        mask = ws.acquire(x.shape, np.bool_)
+        np.greater_equal(x, 0, out=mask)
+        np.divide(1.0, den, out=t)  # positive branch: 1 / (1 + e^-x)
+        np.copyto(out, t, where=mask)
         self._out = out
         return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward() called before forward()")
-        return grad_out * self._out * (1.0 - self._out)
+        if ws is None or grad_out.dtype != self._out.dtype:
+            return grad_out * self._out * (1.0 - self._out)
+        t = ws.acquire(grad_out.shape, grad_out.dtype)
+        np.subtract(1.0, self._out, out=t)
+        np.multiply(grad_out, self._out, out=grad_out)
+        np.multiply(grad_out, t, out=grad_out)
+        return grad_out
 
 
 class Tanh(Layer):
@@ -293,25 +485,41 @@ class Tanh(Layer):
     def __init__(self) -> None:
         self._out: Optional[np.ndarray] = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         del training
-        self._out = np.tanh(x)
-        return self._out
+        if ws is None:
+            self._out = np.tanh(x)
+            return self._out
+        out = ws.acquire(x.shape, x.dtype)
+        np.tanh(x, out=out)
+        self._out = out
+        return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward() called before forward()")
-        return grad_out * (1.0 - self._out**2)
+        if ws is None or grad_out.dtype != self._out.dtype:
+            return grad_out * (1.0 - self._out**2)
+        t = ws.acquire(grad_out.shape, grad_out.dtype)
+        np.multiply(self._out, self._out, out=t)
+        np.subtract(1.0, t, out=t)
+        np.multiply(grad_out, t, out=grad_out)
+        return grad_out
 
 
 class Linear(Layer):
     """Identity activation (useful as an explicit 'no-op' head)."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        del training
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
+        del training, ws
         return x
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
+        del ws
         return grad_out
 
 
@@ -325,18 +533,42 @@ class Dropout(Layer):
         self._rng = np.random.default_rng(seed)
         self._mask: Optional[np.ndarray] = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
         if not training or self.rate == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = ((self._rng.random(x.shape) < keep) / keep).astype(x.dtype)
-        return x * self._mask
+        if ws is None:
+            self._mask = ((self._rng.random(x.shape) < keep) / keep).astype(x.dtype)
+            return x * self._mask
+        # The draw stays float64 whatever the compute dtype so the RNG
+        # stream (and therefore the mask) matches the legacy path bit
+        # for bit.
+        draw = ws.acquire(x.shape, np.float64)
+        self._rng.random(out=draw)
+        keep_mask = ws.acquire(x.shape, np.bool_)
+        np.less(draw, keep, out=keep_mask)
+        mask64 = ws.acquire(x.shape, np.float64)
+        np.divide(keep_mask, keep, out=mask64)
+        if x.dtype == np.float64:
+            mask = mask64
+        else:
+            mask = ws.acquire(x.shape, x.dtype)
+            np.copyto(mask, mask64)  # the same cast .astype performs
+        self._mask = mask
+        out = ws.acquire(x.shape, x.dtype)
+        np.multiply(x, mask, out=out)
+        return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         if self._mask is None:
             return grad_out
-        return grad_out * self._mask
+        if ws is None:
+            return grad_out * self._mask
+        np.multiply(grad_out, self._mask, out=grad_out)
+        return grad_out
 
 
 _ACTIVATIONS = {

@@ -2,11 +2,20 @@
 
 The paper trains every autoencoder by minimizing mean-squared-error; MAE
 is provided as an alternative for ablations.
+
+``value_ws``/``gradient_ws`` are the allocation-free twins of
+``value``/``gradient``: they run the same arithmetic through a reused
+residual buffer from a :class:`repro.nn.workspace.Workspace` instead of
+allocating intermediates, and return bit-identical results.  The
+gradient buffer they hand back lives in the workspace and is consumed
+(and mutated) by the backward pass of the same mini-batch step.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.workspace import Workspace
 
 
 class Loss:
@@ -18,10 +27,25 @@ class Loss:
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    # Workspace-kernel twins; the default implementations fall back to
+    # the allocating path so custom losses keep working under the arena.
+    def value_ws(self, y_true: np.ndarray, y_pred: np.ndarray, ws: Workspace) -> float:
+        del ws
+        return self.value(y_true, y_pred)
+
+    def gradient_ws(self, y_true: np.ndarray, y_pred: np.ndarray, ws: Workspace) -> np.ndarray:
+        del ws
+        return self.gradient(y_true, y_pred)
+
     @staticmethod
     def _check(y_true: np.ndarray, y_pred: np.ndarray) -> None:
         if y_true.shape != y_pred.shape:
             raise ValueError(f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}")
+
+    @staticmethod
+    def _residual(y_true: np.ndarray, y_pred: np.ndarray, ws: Workspace) -> np.ndarray:
+        """A scratch buffer of the operands' common dtype."""
+        return ws.acquire(y_true.shape, np.result_type(y_true, y_pred))
 
 
 class MeanSquaredError(Loss):
@@ -34,6 +58,21 @@ class MeanSquaredError(Loss):
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         self._check(y_true, y_pred)
         return 2.0 * (y_pred - y_true) / y_true.size
+
+    def value_ws(self, y_true: np.ndarray, y_pred: np.ndarray, ws: Workspace) -> float:
+        self._check(y_true, y_pred)
+        r = self._residual(y_true, y_pred, ws)
+        np.subtract(y_true, y_pred, out=r)
+        np.multiply(r, r, out=r)  # (y - y_hat)**2, bit for bit
+        return float(np.mean(r))
+
+    def gradient_ws(self, y_true: np.ndarray, y_pred: np.ndarray, ws: Workspace) -> np.ndarray:
+        self._check(y_true, y_pred)
+        r = self._residual(y_true, y_pred, ws)
+        np.subtract(y_pred, y_true, out=r)
+        np.multiply(r, 2.0, out=r)
+        np.divide(r, y_true.size, out=r)
+        return r
 
     @staticmethod
     def per_sample(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
@@ -52,6 +91,21 @@ class MeanAbsoluteError(Loss):
     def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
         self._check(y_true, y_pred)
         return np.sign(y_pred - y_true) / y_true.size
+
+    def value_ws(self, y_true: np.ndarray, y_pred: np.ndarray, ws: Workspace) -> float:
+        self._check(y_true, y_pred)
+        r = self._residual(y_true, y_pred, ws)
+        np.subtract(y_true, y_pred, out=r)
+        np.abs(r, out=r)
+        return float(np.mean(r))
+
+    def gradient_ws(self, y_true: np.ndarray, y_pred: np.ndarray, ws: Workspace) -> np.ndarray:
+        self._check(y_true, y_pred)
+        r = self._residual(y_true, y_pred, ws)
+        np.subtract(y_pred, y_true, out=r)
+        np.sign(r, out=r)
+        np.divide(r, y_true.size, out=r)
+        return r
 
     @staticmethod
     def per_sample(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:

@@ -5,6 +5,23 @@ Training data may be a dense ``(n, dim)`` array or any *row source*
 mini-batch, so e.g. compound-matrix views train without the pooled
 tensor ever being materialized.  Both paths draw the same RNG sequence
 and select the same rows, so they produce bit-identical weights.
+
+Execution paths
+---------------
+
+``fit``/``predict`` run on one of two numerically identical paths:
+
+* the **legacy** allocating path -- every mini-batch gather, layer
+  output, gradient and optimizer temporary is a fresh array;
+* the **kernel** path -- the same arithmetic through ``out=`` kernels
+  over a :class:`repro.nn.workspace.Workspace` arena, which recycles
+  scratch buffers generation-by-generation so steady-state training
+  performs zero array allocation.
+
+Float64 results are bit-identical between the two (pinned by
+``tests/nn/test_kernel_equivalence``); the kernel path is on by default
+and controlled by ``use_workspace=`` / :func:`repro.nn.workspace.set_arena_enabled`
+/ the ``ACOBE_NN_ARENA`` environment variable.
 """
 
 from __future__ import annotations
@@ -19,6 +36,7 @@ from repro.nn.data import is_row_source
 from repro.nn.layers import Layer, Parameter
 from repro.nn.losses import Loss, get_loss
 from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.nn.workspace import Workspace, resolve_arena
 from repro.obs import get_telemetry
 
 
@@ -72,6 +90,7 @@ class Sequential:
             raise ValueError(f"dtype must be float32 or float64, got {self.dtype}")
         self.input_dim: Optional[int] = None
         self.output_dim: Optional[int] = None
+        self._workspace: Optional[Workspace] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -82,8 +101,8 @@ class Sequential:
             raise ValueError(f"input_dim must be positive, got {input_dim}")
         dim = input_dim
         for layer in self.layers:
-            dim = layer.build(dim, self._rng)
-            layer.cast(self.dtype)
+            dim = layer.build(dim, self._rng, dtype=self.dtype)
+            layer.cast(self.dtype)  # no-op for layers built in-dtype; safety net otherwise
         self.input_dim = input_dim
         self.output_dim = dim
         return self
@@ -91,6 +110,13 @@ class Sequential:
     @property
     def built(self) -> bool:
         return self.input_dim is not None
+
+    @property
+    def workspace(self) -> Workspace:
+        """The network's lazily created scratch-buffer arena."""
+        if self._workspace is None:
+            self._workspace = Workspace()
+        return self._workspace
 
     def parameters(self) -> List[Parameter]:
         """All trainable parameters in layer order."""
@@ -106,26 +132,57 @@ class Sequential:
     # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        """Run the full stack; ``training`` toggles BatchNorm/Dropout mode."""
+    def forward(
+        self, x: np.ndarray, training: bool = False, ws: Optional[Workspace] = None
+    ) -> np.ndarray:
+        """Run the full stack; ``training`` toggles BatchNorm/Dropout mode.
+
+        With ``ws``, layer outputs live in the arena and are only valid
+        until its next ``reset()`` -- copy anything that must survive.
+        """
         x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 2:
             raise ValueError(f"expected a 2-D batch, got shape {x.shape}")
         if self.built and x.shape[1] != self.input_dim:
             raise ValueError(f"expected input dim {self.input_dim}, got {x.shape[1]}")
         for layer in self.layers:
-            x = layer.forward(x, training=training)
+            x = layer.forward(x, training=training, ws=ws)
         return x
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def backward(self, grad: np.ndarray, ws: Optional[Workspace] = None) -> np.ndarray:
         """Backpropagate dL/d(output); returns dL/d(input)."""
         for layer in reversed(self.layers):
-            grad = layer.backward(grad)
+            grad = layer.backward(grad, ws=ws)
         return grad
 
-    def predict(self, x: np.ndarray, batch_size: int = 1024) -> np.ndarray:
-        """Inference-mode forward pass in batches."""
+    def predict(
+        self,
+        x: np.ndarray,
+        batch_size: int = 1024,
+        use_workspace: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Inference-mode forward pass in batches.
+
+        On the kernel path each chunk runs through the arena and is
+        copied into one preallocated output array (instead of a Python
+        list of per-chunk arrays joined by ``np.concatenate``); results
+        are bit-identical either way.
+        """
         x = np.asarray(x, dtype=self.dtype)
+        if self.built and resolve_arena(use_workspace):
+            if x.ndim != 2:
+                raise ValueError(f"expected a 2-D batch, got shape {x.shape}")
+            if x.shape[1] != self.input_dim:
+                raise ValueError(f"expected input dim {self.input_dim}, got {x.shape[1]}")
+            ws = self.workspace
+            out = np.empty((x.shape[0], self.output_dim), dtype=self.dtype)
+            for start in range(0, x.shape[0], batch_size):
+                ws.reset()
+                h = x[start : start + batch_size]
+                for layer in self.layers:
+                    h = layer.forward(h, training=False, ws=ws)
+                out[start : start + h.shape[0]] = h
+            return out
         if x.shape[0] <= batch_size:
             return self.forward(x, training=False)
         chunks = [
@@ -151,6 +208,7 @@ class Sequential:
         min_delta: float = 0.0,
         verbose: bool = False,
         callbacks: Optional[Sequence] = None,
+        use_workspace: Optional[bool] = None,
     ) -> TrainingHistory:
         """Train with mini-batch gradient descent.
 
@@ -177,6 +235,10 @@ class Sequential:
             callbacks: objects implementing (a subset of) the callback
                 protocol in :mod:`repro.nn.callbacks`; they observe
                 training without affecting its numerics.
+            use_workspace: force the arena kernel path on/off for this
+                fit; ``None`` defers to the process default
+                (:func:`repro.nn.workspace.arena_enabled`).  Float64
+                training is bit-identical either way.
 
         Returns:
             A :class:`TrainingHistory` with per-epoch losses.
@@ -190,6 +252,12 @@ class Sequential:
                 xb = np.asarray(source.rows(idx), dtype=self.dtype)
                 return xb, xb
 
+            # Row sources gather through arbitrary Python objects, so the
+            # mini-batch fetch itself stays allocating even on the kernel
+            # path (layers/loss/optimizer still run through the arena).
+            def fetch_kernel(sel: np.ndarray, ws: Workspace):
+                return fetch(train_idx[sel])
+
         else:
             x = np.asarray(x, dtype=self.dtype)
             y = x if y is None else np.asarray(y, dtype=self.dtype)
@@ -200,6 +268,19 @@ class Sequential:
             def fetch(idx: np.ndarray):
                 return x[idx], y[idx]
 
+            def fetch_kernel(sel: np.ndarray, ws: Workspace):
+                # Compose train_idx[order[...]] and the row gather through
+                # np.take(..., out=) -- bit-identical to fancy indexing.
+                idx = ws.acquire(sel.shape, train_idx.dtype)
+                np.take(train_idx, sel, out=idx)
+                xb = ws.acquire((sel.shape[0], width), self.dtype)
+                np.take(x, idx, axis=0, out=xb)
+                if y is x:
+                    return xb, xb
+                yb = ws.acquire((sel.shape[0], y.shape[1]), self.dtype)
+                np.take(y, idx, axis=0, out=yb)
+                return xb, yb
+
         if n_total == 0:
             raise ValueError("cannot fit on an empty dataset")
         if not 0.0 <= validation_split < 1.0:
@@ -209,6 +290,7 @@ class Sequential:
 
         loss_fn = get_loss(loss) if isinstance(loss, str) else loss
         opt = get_optimizer(optimizer) if isinstance(optimizer, str) else optimizer
+        ws = self.workspace if resolve_arena(use_workspace) else None
 
         n_val = int(round(n_total * validation_split))
         if n_val > 0:
@@ -232,6 +314,7 @@ class Sequential:
         if verbose:
             callback_list.callbacks.append(EpochLogger())
         telemetry = get_telemetry()
+        arena_before = ws.stats() if ws is not None else None
 
         with telemetry.span(
             "nn.fit", samples=int(n), input_dim=int(width), batch_size=batch_size
@@ -243,12 +326,30 @@ class Sequential:
                 order = self._rng.permutation(n) if shuffle else np.arange(n)
                 epoch_loss = 0.0
                 for start in range(0, n, batch_size):
-                    idx = train_idx[order[start : start + batch_size]]
-                    xb, yb = fetch(idx)
-                    pred = self.forward(xb, training=True)
-                    epoch_loss += loss_fn.value(yb, pred) * len(idx)
-                    self.backward(loss_fn.gradient(yb, pred))
-                    opt.step(params)
+                    sel = order[start : start + batch_size]
+                    if ws is None:
+                        idx = train_idx[sel]
+                        xb, yb = fetch(idx)
+                        pred = self.forward(xb, training=True)
+                        epoch_loss += loss_fn.value(yb, pred) * len(idx)
+                        self.backward(loss_fn.gradient(yb, pred))
+                        opt.step(params)
+                    else:
+                        # Kernel step: one generation of arena buffers per
+                        # mini-batch; same ops in the same order as above,
+                        # routed through out= kernels (asarray/shape checks
+                        # skipped -- the gather already produced a 2-D
+                        # batch of self.dtype).
+                        ws.reset()
+                        xb, yb = fetch_kernel(sel, ws)
+                        pred = xb
+                        for layer in self.layers:
+                            pred = layer.forward(pred, training=True, ws=ws)
+                        epoch_loss += loss_fn.value_ws(yb, pred, ws) * sel.shape[0]
+                        grad = loss_fn.gradient_ws(yb, pred, ws)
+                        for layer in reversed(self.layers):
+                            grad = layer.backward(grad, ws=ws)
+                        opt.step(params, ws=ws)
                     n_batches += 1
                 epoch_loss /= n
                 history.loss.append(epoch_loss)
@@ -261,7 +362,7 @@ class Sequential:
                 history.grad_norm.append(grad_norm)
 
                 if x_val is not None:
-                    val_pred = self.predict(x_val)
+                    val_pred = self.predict(x_val, use_workspace=use_workspace)
                     val_loss = loss_fn.value(y_val, val_pred)
                     history.val_loss.append(val_loss)
                     monitor = val_loss
@@ -295,10 +396,15 @@ class Sequential:
         telemetry.counter("nn.epochs_total").inc(history.epochs_trained)
         telemetry.counter("nn.batches_total").inc(n_batches)
         telemetry.counter("nn.fits_total").inc()
+        if ws is not None:
+            arena_after = ws.stats()
+            telemetry.counter("nn.arena.hits").inc(arena_after.hits - arena_before.hits)
+            telemetry.counter("nn.arena.misses").inc(arena_after.misses - arena_before.misses)
+            telemetry.gauge("nn.arena.peak_bytes").set(arena_after.peak_bytes)
         return history
 
     def evaluate(self, x: np.ndarray, y: Optional[np.ndarray] = None, loss: Union[str, Loss] = "mse") -> float:
-        """Inference-mode loss over a dataset."""
-        y = np.asarray(x, dtype=np.float64) if y is None else np.asarray(y, dtype=np.float64)
+        """Inference-mode loss over a dataset (computed in ``self.dtype``)."""
+        y = np.asarray(x, dtype=self.dtype) if y is None else np.asarray(y, dtype=self.dtype)
         loss_fn = get_loss(loss) if isinstance(loss, str) else loss
         return loss_fn.value(y, self.predict(x))

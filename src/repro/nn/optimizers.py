@@ -5,19 +5,42 @@ ablations and tests.  Each optimizer keeps per-parameter state keyed by
 ``id(parameter)``, so the same optimizer instance must be used with a
 fixed set of parameters for the whole training run (which is what
 :class:`repro.nn.network.Sequential` does).
+
+:meth:`Optimizer.step` accepts an optional
+:class:`repro.nn.workspace.Workspace`.  With one, each update runs the
+same arithmetic through in-place ``out=`` kernels over recycled scratch
+buffers -- state arrays are allocated once per parameter and mutated in
+place, and no per-parameter temporaries are created after the first
+step.  Updates are bit-identical to the allocating path (same ops, same
+order, same dtypes); only the allocation behaviour differs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.nn.layers import Parameter
+from repro.nn.workspace import Workspace
+
+
+def _state_array(state: dict, key: str, param: Parameter) -> np.ndarray:
+    """The named state array, zero-allocated on first use only.
+
+    (``dict.setdefault(key, np.zeros_like(...))`` would evaluate -- and
+    allocate -- the default on *every* call; this helper only pays on a
+    genuine miss.)
+    """
+    array = state.get(key)
+    if array is None:
+        array = state[key] = np.zeros_like(param.value)
+    return array
 
 
 class Optimizer:
-    """Base class; subclasses implement ``_update_one``."""
+    """Base class; subclasses implement ``_update_one`` (and optionally
+    ``_update_one_ws`` for the allocation-free kernel path)."""
 
     def __init__(self, learning_rate: float):
         if learning_rate <= 0:
@@ -26,15 +49,36 @@ class Optimizer:
         self._state: Dict[int, dict] = {}
         self.iterations = 0
 
-    def step(self, parameters: Iterable[Parameter]) -> None:
+    def step(self, parameters: Iterable[Parameter], ws: Optional[Workspace] = None) -> None:
         """Apply one update to every parameter using its current ``grad``."""
         self.iterations += 1
-        for param in parameters:
-            state = self._state.setdefault(id(param), {})
-            self._update_one(param, state)
+        if ws is None:
+            for param in parameters:
+                state = self._state.get(id(param))
+                if state is None:
+                    state = self._state[id(param)] = {}
+                self._update_one(param, state)
+        else:
+            for param in parameters:
+                state = self._state.get(id(param))
+                if state is None:
+                    state = self._state[id(param)] = {}
+                if param.grad.dtype == param.value.dtype:
+                    self._update_one_ws(param, state, ws)
+                else:
+                    # Promoted gradient (float32 param, float64 grad):
+                    # the legacy expressions pick per-op dtypes that out=
+                    # scratch buffers of one dtype cannot reproduce.
+                    self._update_one(param, state)
 
     def _update_one(self, param: Parameter, state: dict) -> None:
         raise NotImplementedError
+
+    def _update_one_ws(self, param: Parameter, state: dict, ws: Workspace) -> None:
+        """Workspace-kernel update; defaults to the allocating update so
+        third-party subclasses keep working on the arena path."""
+        del ws
+        self._update_one(param, state)
 
 
 class SGD(Optimizer):
@@ -47,6 +91,12 @@ class SGD(Optimizer):
         del state
         param.value -= self.learning_rate * param.grad
 
+    def _update_one_ws(self, param: Parameter, state: dict, ws: Workspace) -> None:
+        del state
+        t = ws.acquire(param.grad.shape, param.grad.dtype)
+        np.multiply(param.grad, self.learning_rate, out=t)
+        param.value -= t
+
 
 class Momentum(Optimizer):
     """SGD with classical momentum."""
@@ -58,9 +108,17 @@ class Momentum(Optimizer):
         self.momentum = momentum
 
     def _update_one(self, param: Parameter, state: dict) -> None:
-        velocity = state.setdefault("velocity", np.zeros_like(param.value))
+        velocity = _state_array(state, "velocity", param)
         velocity *= self.momentum
         velocity -= self.learning_rate * param.grad
+        param.value += velocity
+
+    def _update_one_ws(self, param: Parameter, state: dict, ws: Workspace) -> None:
+        velocity = _state_array(state, "velocity", param)
+        t = ws.acquire(param.grad.shape, param.grad.dtype)
+        velocity *= self.momentum
+        np.multiply(param.grad, self.learning_rate, out=t)
+        velocity -= t
         param.value += velocity
 
 
@@ -73,10 +131,25 @@ class RMSProp(Optimizer):
         self.epsilon = epsilon
 
     def _update_one(self, param: Parameter, state: dict) -> None:
-        acc = state.setdefault("acc", np.zeros_like(param.value))
+        acc = _state_array(state, "acc", param)
         acc *= self.rho
         acc += (1.0 - self.rho) * param.grad**2
         param.value -= self.learning_rate * param.grad / (np.sqrt(acc) + self.epsilon)
+
+    def _update_one_ws(self, param: Parameter, state: dict, ws: Workspace) -> None:
+        acc = _state_array(state, "acc", param)
+        g = param.grad
+        t1 = ws.acquire(g.shape, g.dtype)
+        t2 = ws.acquire(g.shape, g.dtype)
+        acc *= self.rho
+        np.multiply(g, g, out=t1)
+        np.multiply(t1, 1.0 - self.rho, out=t1)
+        acc += t1
+        np.multiply(g, self.learning_rate, out=t1)
+        np.sqrt(acc, out=t2)
+        np.add(t2, self.epsilon, out=t2)
+        np.divide(t1, t2, out=t1)
+        param.value -= t1
 
 
 class Adadelta(Optimizer):
@@ -97,8 +170,8 @@ class Adadelta(Optimizer):
         self.epsilon = epsilon
 
     def _update_one(self, param: Parameter, state: dict) -> None:
-        acc_grad = state.setdefault("acc_grad", np.zeros_like(param.value))
-        acc_delta = state.setdefault("acc_delta", np.zeros_like(param.value))
+        acc_grad = _state_array(state, "acc_grad", param)
+        acc_delta = _state_array(state, "acc_delta", param)
         acc_grad *= self.rho
         acc_grad += (1.0 - self.rho) * param.grad**2
         update = (
@@ -107,6 +180,30 @@ class Adadelta(Optimizer):
         acc_delta *= self.rho
         acc_delta += (1.0 - self.rho) * update**2
         param.value -= self.learning_rate * update
+
+    def _update_one_ws(self, param: Parameter, state: dict, ws: Workspace) -> None:
+        acc_grad = _state_array(state, "acc_grad", param)
+        acc_delta = _state_array(state, "acc_delta", param)
+        g = param.grad
+        t1 = ws.acquire(g.shape, g.dtype)
+        t2 = ws.acquire(g.shape, g.dtype)
+        acc_grad *= self.rho
+        np.multiply(g, g, out=t1)
+        np.multiply(t1, 1.0 - self.rho, out=t1)
+        acc_grad += t1
+        # update = sqrt(acc_delta + eps) / sqrt(acc_grad + eps) * grad
+        np.add(acc_delta, self.epsilon, out=t1)
+        np.sqrt(t1, out=t1)
+        np.add(acc_grad, self.epsilon, out=t2)
+        np.sqrt(t2, out=t2)
+        np.divide(t1, t2, out=t1)
+        np.multiply(t1, g, out=t1)
+        acc_delta *= self.rho
+        np.multiply(t1, t1, out=t2)
+        np.multiply(t2, 1.0 - self.rho, out=t2)
+        acc_delta += t2
+        np.multiply(t1, self.learning_rate, out=t1)
+        param.value -= t1
 
 
 class Adam(Optimizer):
@@ -125,8 +222,8 @@ class Adam(Optimizer):
         self.epsilon = epsilon
 
     def _update_one(self, param: Parameter, state: dict) -> None:
-        m = state.setdefault("m", np.zeros_like(param.value))
-        v = state.setdefault("v", np.zeros_like(param.value))
+        m = _state_array(state, "m", param)
+        v = _state_array(state, "v", param)
         t = state["t"] = state.get("t", 0) + 1
         m *= self.beta1
         m += (1.0 - self.beta1) * param.grad
@@ -135,6 +232,28 @@ class Adam(Optimizer):
         m_hat = m / (1.0 - self.beta1**t)
         v_hat = v / (1.0 - self.beta2**t)
         param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def _update_one_ws(self, param: Parameter, state: dict, ws: Workspace) -> None:
+        m = _state_array(state, "m", param)
+        v = _state_array(state, "v", param)
+        t = state["t"] = state.get("t", 0) + 1
+        g = param.grad
+        t1 = ws.acquire(g.shape, g.dtype)
+        t2 = ws.acquire(g.shape, g.dtype)
+        m *= self.beta1
+        np.multiply(g, 1.0 - self.beta1, out=t1)
+        m += t1
+        v *= self.beta2
+        np.multiply(g, g, out=t1)
+        np.multiply(t1, 1.0 - self.beta2, out=t1)
+        v += t1
+        np.divide(m, 1.0 - self.beta1**t, out=t1)  # m_hat
+        np.divide(v, 1.0 - self.beta2**t, out=t2)  # v_hat
+        np.multiply(t1, self.learning_rate, out=t1)
+        np.sqrt(t2, out=t2)
+        np.add(t2, self.epsilon, out=t2)
+        np.divide(t1, t2, out=t1)
+        param.value -= t1
 
 
 _OPTIMIZERS = {

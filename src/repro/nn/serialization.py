@@ -46,6 +46,7 @@ def save_network(network: Sequential, path: PathOrFile) -> None:
         "input_dim": network.input_dim,
         "output_dim": network.output_dim,
         "layers": [type(layer).__name__ for layer in network.layers],
+        "dtype": network.dtype.name,
     }
     for i, layer in enumerate(network.layers):
         for name, value in layer.state_dict().items():
@@ -75,6 +76,14 @@ def load_network(network: Sequential, path: PathOrFile) -> Sequential:
             raise ValueError(
                 f"input_dim mismatch: file has {header['input_dim']}, "
                 f"network has {network.input_dim}"
+            )
+        # Archives written before the dtype field existed omit it; those
+        # all predate float32 support and are float64.
+        saved_dtype = header.get("dtype", "float64")
+        if saved_dtype != network.dtype.name:
+            raise ValueError(
+                f"dtype mismatch: file has {saved_dtype}, "
+                f"network has {network.dtype.name}"
             )
         for i, layer in enumerate(network.layers):
             prefix = f"layer{i}/"

@@ -1,0 +1,168 @@
+"""Unit tests for the repro.nn.workspace buffer arena."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.workspace import (
+    Workspace,
+    arena_enabled,
+    resolve_arena,
+    set_arena_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_arena_state(monkeypatch):
+    monkeypatch.delenv("ACOBE_NN_ARENA", raising=False)
+    previous = set_arena_enabled(None)
+    yield
+    set_arena_enabled(previous)
+
+
+class TestAcquire:
+    def test_returns_requested_shape_and_dtype(self):
+        ws = Workspace()
+        buf = ws.acquire((3, 4), np.float32)
+        assert buf.shape == (3, 4)
+        assert buf.dtype == np.float32
+
+    def test_scalar_shape(self):
+        ws = Workspace()
+        assert ws.acquire(5).shape == (5,)
+
+    def test_distinct_buffers_within_generation(self):
+        ws = Workspace()
+        a = ws.acquire((2, 2))
+        b = ws.acquire((2, 2))
+        assert a is not b
+
+    def test_recycles_in_acquisition_order_across_generations(self):
+        ws = Workspace()
+        a = ws.acquire((2, 2))
+        b = ws.acquire((2, 2))
+        ws.reset()
+        assert ws.acquire((2, 2)) is a
+        assert ws.acquire((2, 2)) is b
+
+    def test_pools_are_keyed_by_shape_and_dtype(self):
+        ws = Workspace()
+        a64 = ws.acquire((2, 2), np.float64)
+        a32 = ws.acquire((2, 2), np.float32)
+        ab = ws.acquire((2, 2), np.bool_)
+        assert len({id(a64), id(a32), id(ab)}) == 3
+        ws.reset()
+        assert ws.acquire((2, 2), np.float64) is a64
+        assert ws.acquire((2, 2), np.float32) is a32
+        assert ws.acquire((2, 2), np.bool_) is ab
+
+    def test_growth_within_generation_then_full_reuse(self):
+        ws = Workspace()
+        first = [ws.acquire((4,)) for _ in range(3)]
+        ws.reset()
+        second = [ws.acquire((4,)) for _ in range(3)]
+        assert all(a is b for a, b in zip(first, second))
+        stats = ws.stats()
+        assert stats.misses == 3
+        assert stats.hits == 3
+
+    def test_clear_drops_buffers(self):
+        ws = Workspace()
+        a = ws.acquire((8, 8))
+        ws.clear()
+        assert ws.stats().live_bytes == 0
+        assert ws.stats().buffers == 0
+        ws.reset()
+        assert ws.acquire((8, 8)) is not a
+
+
+class TestStats:
+    def test_counters(self):
+        ws = Workspace()
+        ws.acquire((2, 3))
+        ws.reset()
+        ws.acquire((2, 3))
+        ws.acquire((5,), np.float32)
+        stats = ws.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.buffers == 2
+        assert stats.generations == 1
+        expected = 2 * 3 * 8 + 5 * 4
+        assert stats.live_bytes == expected
+        assert stats.peak_bytes == expected
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_hit_rate_zero_when_unused(self):
+        assert Workspace().stats().hit_rate == 0.0
+
+    def test_publish_duck_typed(self):
+        class FakeMetric:
+            def __init__(self):
+                self.value = 0
+
+            def inc(self, n):
+                self.value += n
+
+            def set(self, v):
+                self.value = v
+
+        class FakeTelemetry:
+            def __init__(self):
+                self.metrics = {}
+
+            def counter(self, name):
+                return self.metrics.setdefault(name, FakeMetric())
+
+            gauge = counter
+
+        ws = Workspace()
+        ws.acquire((2, 2))
+        ws.reset()
+        ws.acquire((2, 2))
+        telemetry = FakeTelemetry()
+        ws.publish(telemetry)
+        assert telemetry.metrics["nn.arena.hits"].value == 1
+        assert telemetry.metrics["nn.arena.misses"].value == 1
+        assert telemetry.metrics["nn.arena.peak_bytes"].value == 32
+        assert telemetry.metrics["nn.arena.buffers"].value == 1
+
+
+class TestEnablement:
+    def test_default_on(self):
+        assert arena_enabled() is True
+        assert resolve_arena(None) is True
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", " OFF "])
+    def test_env_disables(self, value):
+        os.environ["ACOBE_NN_ARENA"] = value
+        try:
+            assert arena_enabled() is False
+        finally:
+            del os.environ["ACOBE_NN_ARENA"]
+
+    @pytest.mark.parametrize("value", ["1", "on", "yes", ""])
+    def test_env_other_values_keep_default(self, value):
+        os.environ["ACOBE_NN_ARENA"] = value
+        try:
+            assert arena_enabled() is True
+        finally:
+            del os.environ["ACOBE_NN_ARENA"]
+
+    def test_global_override_beats_env(self):
+        os.environ["ACOBE_NN_ARENA"] = "0"
+        try:
+            previous = set_arena_enabled(True)
+            assert previous is None
+            assert arena_enabled() is True
+            assert set_arena_enabled(None) is True
+            assert arena_enabled() is False
+        finally:
+            del os.environ["ACOBE_NN_ARENA"]
+
+    def test_explicit_wins_over_default(self):
+        set_arena_enabled(False)
+        assert resolve_arena(True) is True
+        assert resolve_arena(False) is False
+        assert resolve_arena(None) is False

@@ -53,6 +53,25 @@ FORBIDDEN: Dict[str, Tuple[str, ...]] = {
                    "repro.features", "repro.datagen", "repro.obs", "repro.testing"),
     "repro.nn": ("repro.core", "repro.ingest", "repro.eval", "repro.cli",
                  "repro.features", "repro.datagen", "repro.logs", "repro.testing"),
+    # Inside the nn package the arrows also point one way: the workspace
+    # buffer arena is the foundation, layers/optimizers/losses sit on it
+    # (optimizers may import layers for Parameter), and network composes
+    # all three.  Keeps the allocation-free kernel path dependency-light.
+    "repro.nn.workspace": ("repro.nn.layers", "repro.nn.optimizers", "repro.nn.losses",
+                           "repro.nn.network", "repro.nn.autoencoder", "repro.nn.parallel",
+                           "repro.nn.serialization", "repro.nn.data", "repro.nn.callbacks",
+                           "repro.nn.gradcheck", "repro.nn.initializers"),
+    "repro.nn.layers": ("repro.nn.optimizers", "repro.nn.losses", "repro.nn.network",
+                        "repro.nn.autoencoder", "repro.nn.parallel",
+                        "repro.nn.serialization", "repro.nn.gradcheck"),
+    "repro.nn.optimizers": ("repro.nn.losses", "repro.nn.network", "repro.nn.autoencoder",
+                            "repro.nn.parallel", "repro.nn.serialization",
+                            "repro.nn.gradcheck"),
+    "repro.nn.losses": ("repro.nn.layers", "repro.nn.optimizers", "repro.nn.network",
+                        "repro.nn.autoencoder", "repro.nn.parallel",
+                        "repro.nn.serialization", "repro.nn.gradcheck"),
+    "repro.nn.network": ("repro.nn.autoencoder", "repro.nn.parallel",
+                         "repro.nn.serialization", "repro.nn.gradcheck"),
     "repro.datagen": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
                       "repro.features", "repro.testing"),
     "repro.features": ("repro.core", "repro.ingest", "repro.nn", "repro.eval", "repro.cli",
